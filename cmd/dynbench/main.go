@@ -1,0 +1,61 @@
+// Command dynbench regenerates the paper's experimental results: Table 2
+// (speedups, breakeven points, overheads), Table 3 (optimizations applied
+// dynamically), the Figure 1 / section 4 cache-lookup walk-through, and the
+// section 5 register-actions result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dyncc/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print table 2 or 3 (0 = both)")
+	regact := flag.Bool("regactions", false, "also run the register-actions extension (section 5)")
+	figure1 := flag.Bool("figure1", false, "print the Figure 1 / section 4 cache-lookup walk-through")
+	merged := flag.Bool("merged", false, "use the section 7 merged set-up+stitch mode")
+	uses := flag.Int("uses", 0, "override workload size")
+	flag.Parse()
+
+	cfg := bench.Config{Uses: *uses, MergedStitch: *merged}
+	rows, err := bench.Table2(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynbench:", err)
+		os.Exit(1)
+	}
+	if *table == 0 || *table == 2 {
+		fmt.Println("Table 2: Speedup and Breakeven Point Results")
+		bench.PrintTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *table == 0 || *table == 3 {
+		fmt.Println("Table 3: Optimizations Applied Dynamically")
+		bench.PrintTable3(os.Stdout, bench.Table3(rows))
+		fmt.Println()
+	}
+	if *figure1 {
+		if err := bench.Figure1(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dynbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *regact {
+		fmt.Println("Section 5: register actions (calculator)")
+		base, err := bench.Calculator(bench.Config{Uses: *uses})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynbench:", err)
+			os.Exit(1)
+		}
+		ra, err := bench.Calculator(bench.Config{Uses: *uses, RegisterActions: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dynbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  plain stitching:   speedup %.2f\n", base.Speedup)
+		fmt.Printf("  register actions:  speedup %.2f (loads promoted %d, stores promoted %d)\n",
+			ra.Speedup, ra.Stitch.LoadsPromoted, ra.Stitch.StoresPromoted)
+	}
+}

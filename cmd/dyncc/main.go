@@ -1,0 +1,109 @@
+// Command dyncc compiles a MiniC source file and dumps the requested
+// compilation artifacts: the IR (with region/template/set-up structure),
+// the generated VM assembly, and each dynamic region's templates, holes and
+// stitcher directives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dyncc/internal/core"
+	"dyncc/internal/ir"
+)
+
+// sortedConsts returns the constant values in ascending order.
+func sortedConsts(m map[ir.Value]bool) []ir.Value {
+	var vs []ir.Value
+	for v, ok := range m {
+		if ok {
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+func main() {
+	dynamic := flag.Bool("dynamic", true, "compile dynamic regions (false = static baseline)")
+	optimize := flag.Bool("O", true, "run the static optimizer")
+	dumpIR := flag.Bool("ir", false, "dump the compiled IR of every function")
+	dumpAsm := flag.Bool("asm", false, "dump the VM assembly of every function")
+	dumpTmpl := flag.Bool("templates", true, "dump each region's templates and directives")
+	dumpAnalysis := flag.Bool("analysis", false, "dump run-time-constant and reachability results per region")
+	fn := flag.String("func", "", "restrict dumps to one function")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dyncc [flags] file.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyncc:", err)
+		os.Exit(1)
+	}
+	c, err := core.Compile(string(src), core.Config{Dynamic: *dynamic, Optimize: *optimize})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyncc:", err)
+		os.Exit(1)
+	}
+
+	want := func(f *ir.Func) bool { return *fn == "" || f.Name == *fn }
+	for _, f := range c.Module.Funcs {
+		if !want(f) {
+			continue
+		}
+		if *dumpIR {
+			fmt.Printf("=== IR %s\n%s\n", f.Name, f)
+		}
+		if *dumpAsm {
+			id := c.Output.Prog.FuncID(f.Name)
+			fmt.Printf("=== asm %s\n%s\n", f.Name, c.Output.Prog.Segs[id].Disasm())
+		}
+	}
+	if *dumpAnalysis {
+		for r, sr := range c.Splits {
+			fmt.Printf("=== analysis %s region %d\n", r.Fn.Name, r.ID)
+			res := sr.Analysis
+			fmt.Printf("run-time constants:")
+			for _, v := range sortedConsts(res.Const) {
+				name := r.Fn.ValueInfo(v).Name
+				if name == "" {
+					fmt.Printf(" v%d", v)
+				} else {
+					fmt.Printf(" %s(v%d)", name, v)
+				}
+			}
+			fmt.Println()
+			for _, b := range r.Fn.Blocks {
+				if b.Region != r || b.Setup {
+					continue
+				}
+				mark := ""
+				if res.ConstMerge[b] && len(b.Preds) > 1 {
+					mark = "  [constant merge]"
+				}
+				fmt.Printf("  b%d reach %s%s\n", b.ID, res.BlockReach[b], mark)
+			}
+			fmt.Printf("holes (value -> table slot):")
+			for v, slot := range sr.Holes {
+				fmt.Printf(" v%d->%s", v, slot)
+			}
+			fmt.Println()
+		}
+	}
+	if *dumpTmpl {
+		for _, tr := range c.Output.Regions {
+			if tr.Blocks == nil {
+				continue
+			}
+			fmt.Printf("=== %s\n%s\n", tr.Name, tr.Dump())
+		}
+	}
+	fmt.Printf("compiled %d functions, %d dynamic regions\n",
+		len(c.Module.Funcs), len(c.Output.Regions))
+}

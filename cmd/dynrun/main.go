@@ -1,0 +1,63 @@
+// Command dynrun compiles a MiniC file and calls a function in it on the
+// built-in VM, reporting the result and cycle counts. Region statistics
+// (set-up, stitch, execution cycles) are printed for each dynamic region.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dyncc/internal/core"
+)
+
+func main() {
+	dynamic := flag.Bool("dynamic", true, "compile dynamic regions")
+	optimize := flag.Bool("O", true, "run the static optimizer")
+	fn := flag.String("func", "main", "function to call")
+	mem := flag.Int("mem", 0, "VM memory in words (0 = default)")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dynrun [flags] file.mc [args...]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynrun:", err)
+		os.Exit(1)
+	}
+	var args []int64
+	for _, a := range flag.Args()[1:] {
+		v, err := strconv.ParseInt(a, 0, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynrun: bad argument %q: %v\n", a, err)
+			os.Exit(1)
+		}
+		args = append(args, v)
+	}
+
+	c, err := core.Compile(string(src), core.Config{Dynamic: *dynamic, Optimize: *optimize})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynrun:", err)
+		os.Exit(1)
+	}
+	m := c.NewMachine(*mem)
+	m.Output = os.Stdout
+	ret, err := m.Call(*fn, args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s(...) = %d\n", *fn, ret)
+	fmt.Printf("cycles: %d, instructions: %d\n", m.Cycles, m.Insts)
+	for i := 0; i < c.Output.Prog.NumRegions; i++ {
+		rc := m.Region(i)
+		if rc.Invocations == 0 {
+			continue
+		}
+		fmt.Printf("region %d: %d invocations, %d exec cycles, %d set-up, %d stitch, %d stitched insts\n",
+			i, rc.Invocations, rc.ExecCycles, rc.SetupCycles, rc.StitchCycles, rc.StitchedInsts)
+	}
+}

@@ -1,0 +1,227 @@
+// Package dyncc is a dynamic-compilation system for MiniC, a C subset,
+// reproducing Auslander, Philipose, Chambers, Eggers and Bershad,
+// "Fast, Effective Dynamic Compilation" (PLDI 1996).
+//
+// Programs annotate dynamic regions and run-time-constant variables:
+//
+//	int cacheLookup(int addr, int cache) {
+//	    dynamicRegion (cache) {
+//	        ...
+//	        unrolled for (set = 0; set < assoc; set++) { ... }
+//	    }
+//	}
+//
+// The static compiler identifies derived run-time constants with a pair of
+// interleaved dataflow analyses (run-time constants + reachability
+// conditions), splits each region into set-up code and machine-code
+// templates with holes, and optimizes everything in the context of the
+// enclosing procedure. At run time a tiny dynamic compiler (the stitcher)
+// copies the templates, patches the holes from the run-time constants
+// table, resolves constant branches, completely unrolls annotated loops,
+// and peephole-optimizes with the actual constant values.
+//
+// Execution happens on a built-in virtual RISC machine with an Alpha-like
+// cycle cost model, so speedups and breakeven points can be measured
+// exactly (see EXPERIMENTS.md).
+package dyncc
+
+import (
+	"io"
+
+	"dyncc/internal/core"
+	"dyncc/internal/ir"
+	"dyncc/internal/stitcher"
+	"dyncc/internal/tmpl"
+	"dyncc/internal/vm"
+)
+
+// Config controls compilation.
+type Config struct {
+	// Dynamic enables dynamic compilation of annotated regions; when
+	// false the same source is compiled fully statically (the baseline),
+	// with regions instrumented for cycle accounting.
+	Dynamic bool
+	// Optimize runs the static global optimizer.
+	Optimize bool
+	// NoStrengthReduction disables the stitcher's value-based peephole
+	// rewrites (ablation).
+	NoStrengthReduction bool
+	// RegisterActions enables the paper's section 5 extension: the
+	// stitcher promotes constant-offset stack words to reserved registers.
+	RegisterActions bool
+	// MergedStitch enables the paper's section 7 one-pass mode: set-up is
+	// evaluated host-side during stitching, cutting dynamic-compile
+	// overhead (the paper predicted this would "drastically reduce"
+	// dynamic compilation costs).
+	MergedStitch bool
+}
+
+// Program is a compiled MiniC program.
+type Program struct {
+	c *core.Compiled
+}
+
+// Compile compiles MiniC source with the given configuration.
+func Compile(src string, cfg Config) (*Program, error) {
+	c, err := core.Compile(src, core.Config{
+		Dynamic:      cfg.Dynamic,
+		Optimize:     cfg.Optimize,
+		MergedStitch: cfg.MergedStitch,
+		Stitcher: stitcher.Options{
+			NoStrengthReduction: cfg.NoStrengthReduction,
+			RegisterActions:     cfg.RegisterActions,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{c: c}, nil
+}
+
+// CompileDynamic compiles with dynamic regions and optimization enabled.
+func CompileDynamic(src string) (*Program, error) {
+	return Compile(src, Config{Dynamic: true, Optimize: true})
+}
+
+// CompileStatic compiles the same source fully statically (the baseline).
+func CompileStatic(src string) (*Program, error) {
+	return Compile(src, Config{Dynamic: false, Optimize: true})
+}
+
+// Machine is an execution instance of a compiled program.
+type Machine struct {
+	m *vm.Machine
+	p *Program
+}
+
+// NewMachine creates a fresh machine. memWords <= 0 selects the default
+// memory size (4M words).
+func (p *Program) NewMachine(memWords int) *Machine {
+	return &Machine{m: p.c.NewMachine(memWords), p: p}
+}
+
+// SetOutput directs the program's print builtins to w.
+func (ma *Machine) SetOutput(w io.Writer) { ma.m.Output = w }
+
+// Call invokes a MiniC function with integer/pointer arguments and returns
+// its result.
+func (ma *Machine) Call(name string, args ...int64) (int64, error) {
+	return ma.m.Call(name, args...)
+}
+
+// CallF invokes a MiniC function with float arguments.
+func (ma *Machine) CallF(name string, args ...float64) (float64, error) {
+	return ma.m.CallF(name, args...)
+}
+
+// Alloc reserves n zeroed words of VM heap (for harness-built inputs).
+func (ma *Machine) Alloc(n int64) (int64, error) { return ma.m.Alloc(n) }
+
+// Mem exposes the machine's word memory.
+func (ma *Machine) Mem() []int64 { return ma.m.Mem }
+
+// Cycles returns total executed cycles.
+func (ma *Machine) Cycles() uint64 { return ma.m.Cycles }
+
+// ResetCounters clears cycle counters and region statistics.
+func (ma *Machine) ResetCounters() { ma.m.ResetCounters() }
+
+// RegionStats are the per-region counters (paper Table 2 raw material).
+type RegionStats struct {
+	Invocations   uint64
+	ExecCycles    uint64 // cycles executing region code (stitched or static)
+	SetupCycles   uint64 // set-up code cycles (dynamic-compile overhead)
+	StitchCycles  uint64 // modeled stitcher cycles
+	StitchedInsts uint64
+	Compiles      uint64
+}
+
+// Overhead is the total dynamic compilation overhead in cycles.
+func (rs RegionStats) Overhead() uint64 { return rs.SetupCycles + rs.StitchCycles }
+
+// Region returns the counters for global region index r.
+func (ma *Machine) Region(r int) RegionStats {
+	rc := ma.m.Region(r)
+	return RegionStats{
+		Invocations:   rc.Invocations,
+		ExecCycles:    rc.ExecCycles,
+		SetupCycles:   rc.SetupCycles,
+		StitchCycles:  rc.StitchCycles,
+		StitchedInsts: rc.StitchedInsts,
+		Compiles:      rc.Compiles,
+	}
+}
+
+// StitchStats summarizes what the stitcher did for one region across all
+// machines of this program (paper Table 3 raw material).
+type StitchStats struct {
+	InstsStitched      int
+	HolesPatched       int
+	BranchesResolved   int
+	LoopIterations     int
+	StrengthReductions int
+	LargeConsts        int
+	LoadsPromoted      int
+	StoresPromoted     int
+}
+
+// StitchStats returns runtime stitcher statistics for region r.
+func (p *Program) StitchStats(r int) StitchStats {
+	s := p.c.Runtime.Stats[r]
+	return StitchStats{
+		InstsStitched:      s.InstsStitched,
+		HolesPatched:       s.HolesPatched,
+		BranchesResolved:   s.BranchesResolved,
+		LoopIterations:     s.LoopIterations,
+		StrengthReductions: s.StrengthReductions,
+		LargeConsts:        s.LargeConsts,
+		LoadsPromoted:      s.LoadsPromoted,
+		StoresPromoted:     s.StoresPromoted,
+	}
+}
+
+// PlanStats reports the optimizations the static compiler planned for
+// region r (constant folding, load elimination, branch elimination,
+// complete unrolling — paper Table 3).
+type PlanStats struct {
+	ConstOpsFolded  int
+	LoadsEliminated int
+	ConstBranches   int
+	LoopsUnrolled   int
+	Holes           int
+}
+
+// PlanStats returns the splitter's plan for global region index r.
+func (p *Program) PlanStats(r int) PlanStats {
+	t := p.c.Output.Regions[r]
+	return PlanStats{
+		ConstOpsFolded:  t.Stats.ConstOpsFolded,
+		LoadsEliminated: t.Stats.LoadsEliminated,
+		ConstBranches:   t.Stats.ConstBranches,
+		LoopsUnrolled:   t.Stats.LoopsUnrolled,
+		Holes:           t.Stats.Holes,
+	}
+}
+
+// NumRegions returns the number of dynamic regions in the program.
+func (p *Program) NumRegions() int { return len(p.c.Output.Regions) }
+
+// RegionTemplates exposes the template metadata for region r (for dumps
+// and the Figure 1 walk-through).
+func (p *Program) RegionTemplates(r int) *tmpl.Region { return p.c.Output.Regions[r] }
+
+// IR returns the compiled IR of a function (diagnostics/dumps).
+func (p *Program) IR(fn string) *ir.Func { return p.c.Module.FuncIndex[fn] }
+
+// Module exposes the compiled IR module (diagnostics and differential
+// testing against the reference interpreter).
+func (p *Program) Module() *ir.Module { return p.c.Module }
+
+// Disasm disassembles a compiled function.
+func (p *Program) Disasm(fn string) string {
+	id := p.c.Output.Prog.FuncID(fn)
+	if id < 0 {
+		return ""
+	}
+	return p.c.Output.Prog.Segs[id].Disasm()
+}

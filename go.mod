@@ -1,0 +1,3 @@
+module dyncc
+
+go 1.22

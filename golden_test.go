@@ -1,0 +1,125 @@
+package dyncc
+
+import (
+	"testing"
+
+	"dyncc/internal/vm"
+)
+
+// TestCacheLookupGolden reproduces the paper's section 4 walk-through: for
+// a cache of 512 lines, 32-byte blocks and 4-way associativity, the final
+// stitched code must have the shape
+//
+//	unsigned tag  = addr >> 14;
+//	unsigned line = (addr >> 5) & 511;
+//	setArray = cacheLines[line]->sets;
+//	if (setArray[0]->tag == tag) goto L1;   (x4, fully unrolled)
+//	return CacheMiss;  L1: return CacheHit;
+//
+// i.e. both divides strength-reduced to shifts, the modulus to a mask, the
+// set loop fully unrolled into four compares, no multiplies, no divides,
+// and no loop branches left.
+func TestCacheLookupGolden(t *testing.T) {
+	pd := mustDynamic(t, cacheLookupSrc)
+	m := pd.NewMachine(0)
+	cache := buildCache(t, m, 32, 512, 4)
+	if _, err := m.Call("cacheLookup", 0x12345, cache); err != nil {
+		t.Fatal(err)
+	}
+
+	segs := pd.c.Runtime.Stitched[0]
+	if len(segs) != 1 {
+		t.Fatalf("stitched segments: %d", len(segs))
+	}
+	code := segs[0].Code
+
+	count := map[vm.Op]int{}
+	shiftAmounts := map[int64]int{}
+	for _, in := range code {
+		count[in.Op]++
+		if in.Op == vm.SHRUI {
+			shiftAmounts[in.Imm]++
+		}
+	}
+
+	// Divides became shifts: addr/(32*512) -> >>14, addr/32 -> >>5.
+	if count[vm.DIV]+count[vm.DIVI]+count[vm.UDIV]+count[vm.UDIVI] != 0 {
+		t.Error("divide survived strength reduction")
+	}
+	if shiftAmounts[14] != 1 || shiftAmounts[5] != 1 {
+		t.Errorf("expected shifts by 14 and 5, got %v", shiftAmounts)
+	}
+	// Modulus became a mask by 511.
+	maskOK := false
+	for _, in := range code {
+		if in.Op == vm.ANDI && in.Imm == 511 {
+			maskOK = true
+		}
+	}
+	if !maskOK {
+		t.Error("expected ANDI 511 for the line modulus")
+	}
+	if count[vm.MOD]+count[vm.MODI]+count[vm.UMOD]+count[vm.UMODI] != 0 {
+		t.Error("modulus survived strength reduction")
+	}
+	if count[vm.MUL]+count[vm.MULI] != 0 {
+		t.Error("multiply survived (blockSize*numLines folds into set-up)")
+	}
+	// The 4-way probe loop is fully unrolled: four tag compares, no
+	// backward branches.
+	if count[vm.SEQ]+count[vm.SEQI] != 4 {
+		t.Errorf("expected 4 unrolled tag compares, got %d", count[vm.SEQ]+count[vm.SEQI])
+	}
+	for pc, in := range code {
+		switch in.Op {
+		case vm.BR, vm.BEQZ, vm.BNEZ, vm.BEQI:
+			if in.Target <= pc {
+				t.Errorf("backward branch at %d — loop not fully unrolled", pc)
+			}
+		}
+	}
+	// The cache lines base pointer comes from the linearized large-constant
+	// table (paper: pointers don't fit immediates).
+	if count[vm.LDC] == 0 {
+		t.Error("expected an LDC for the cache-lines pointer")
+	}
+
+	// Plan statistics match the paper's walk-through: 4 loads eliminated
+	// (blockSize, numLines, lines, associativity), loop unrolled, branch
+	// resolution per iteration.
+	ps := pd.PlanStats(0)
+	if ps.LoadsEliminated != 4 {
+		t.Errorf("loads eliminated: %d, want 4", ps.LoadsEliminated)
+	}
+	if ps.LoopsUnrolled != 1 {
+		t.Errorf("loops unrolled: %d", ps.LoopsUnrolled)
+	}
+	ss := pd.StitchStats(0)
+	if ss.LoopIterations != 4 {
+		t.Errorf("unrolled iterations: %d, want 4", ss.LoopIterations)
+	}
+	if ss.BranchesResolved < 5 { // 4 loop-continue tests + final exit test
+		t.Errorf("branches resolved: %d", ss.BranchesResolved)
+	}
+}
+
+// The directives listing must use the paper's Table 1 vocabulary.
+func TestDirectiveListing(t *testing.T) {
+	pd := mustDynamic(t, cacheLookupSrc)
+	ds := pd.RegionTemplates(0).Directives()
+	vocab := map[string]bool{}
+	for _, d := range ds {
+		for _, kw := range []string{"START", "END", "HOLE", "CONST_BRANCH",
+			"ENTER_LOOP", "EXIT", "RESTART_LOOP", "BRANCH", "LABEL"} {
+			if len(d) >= len(kw) && d[:len(kw)] == kw {
+				vocab[kw] = true
+			}
+		}
+	}
+	for _, kw := range []string{"START", "END", "HOLE", "CONST_BRANCH",
+		"ENTER_LOOP", "RESTART_LOOP", "LABEL"} {
+		if !vocab[kw] {
+			t.Errorf("directive %s missing from listing", kw)
+		}
+	}
+}

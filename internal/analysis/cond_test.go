@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dyncc/internal/ir"
+	"dyncc/internal/types"
+)
+
+// testBranches builds n two-way branch blocks usable as condition atoms.
+func testBranches(n int) []*ir.Block {
+	f := ir.NewFunc("conds", types.FuncType(types.VoidType, nil))
+	var bs []*ir.Block
+	end := f.NewBlock()
+	end.Append(&ir.Instr{Op: ir.OpRet})
+	for i := 0; i < n; i++ {
+		b := f.NewBlock()
+		v := f.NewValue("", types.IntType)
+		b.Append(&ir.Instr{Op: ir.OpConst, Dst: v, Typ: types.IntType})
+		b.Append(&ir.Instr{Op: ir.OpBr, Args: []ir.Value{v}, Targets: []*ir.Block{end, end}})
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+func TestTrueFalse(t *testing.T) {
+	if !True().IsTrue() || True().IsFalse() {
+		t.Error("True misbehaves")
+	}
+	if !False().IsFalse() || False().IsTrue() {
+		t.Error("False misbehaves")
+	}
+}
+
+func TestAndContradiction(t *testing.T) {
+	bs := testBranches(1)
+	c := True().And(Atom{Block: bs[0], Succ: 0})
+	if c.IsFalse() || c.IsTrue() {
+		t.Fatalf("single atom: %s", c)
+	}
+	// B→0 ∧ B→1 is unsatisfiable.
+	c2 := c.And(Atom{Block: bs[0], Succ: 1})
+	if !c2.IsFalse() {
+		t.Errorf("contradictory conjunction should be false, got %s", c2)
+	}
+	// Re-adding the same atom is idempotent.
+	c3 := c.And(Atom{Block: bs[0], Succ: 0})
+	if !Equal(c, c3) {
+		t.Errorf("idempotent and: %s vs %s", c, c3)
+	}
+}
+
+// The paper's simplification: {{A→T,cs},{A→F,cs},ds} reduces to {{cs},ds}.
+func TestComplementaryMerge(t *testing.T) {
+	bs := testBranches(2)
+	a0 := Atom{Block: bs[0], Succ: 0}
+	a1 := Atom{Block: bs[0], Succ: 1}
+	b0 := Atom{Block: bs[1], Succ: 0}
+
+	left := True().And(a0).And(b0)  // {A→T, B→T}
+	right := True().And(a1).And(b0) // {A→F, B→T}
+	merged := left.Or(right)
+	want := True().And(b0)
+	if !Equal(merged, want) {
+		t.Errorf("complementary merge: got %s, want %s", merged, want)
+	}
+}
+
+func TestAbsorption(t *testing.T) {
+	bs := testBranches(2)
+	a0 := Atom{Block: bs[0], Succ: 0}
+	b0 := Atom{Block: bs[1], Succ: 0}
+	weak := True().And(a0)
+	strong := True().And(a0).And(b0)
+	// weak ∨ strong = weak (the stronger conjunction is absorbed).
+	if got := weak.Or(strong); !Equal(got, weak) {
+		t.Errorf("absorption: got %s, want %s", got, weak)
+	}
+}
+
+func TestExclusive(t *testing.T) {
+	bs := testBranches(2)
+	a0 := Atom{Block: bs[0], Succ: 0}
+	a1 := Atom{Block: bs[0], Succ: 1}
+	b0 := Atom{Block: bs[1], Succ: 0}
+	b1 := Atom{Block: bs[1], Succ: 1}
+
+	if !Exclusive(True().And(a0), True().And(a1)) {
+		t.Error("A→T and A→F must be exclusive")
+	}
+	if Exclusive(True().And(a0), True().And(b0)) {
+		t.Error("independent branches are not exclusive")
+	}
+	// (A→T∧B→T) vs (A→F ∨ B→F): pairwise contradictions on both sides.
+	c1 := True().And(a0).And(b0)
+	c2 := True().And(a1).Or(True().And(b1))
+	if !Exclusive(c1, c2) {
+		t.Errorf("%s and %s should be exclusive", c1, c2)
+	}
+	// Anything is exclusive with False, nothing with True.
+	if !Exclusive(True(), False()) {
+		t.Error("False is exclusive with everything")
+	}
+	if Exclusive(True(), True()) {
+		t.Error("True is not exclusive with itself")
+	}
+}
+
+func TestCapDegradesToTrue(t *testing.T) {
+	bs := testBranches(MaxConjs + 4)
+	c := False()
+	// Build a disjunction of many distinct conjunctions.
+	for i := 0; i < MaxConjs+2; i++ {
+		cj := True().And(Atom{Block: bs[i], Succ: 0})
+		if i+1 < len(bs) {
+			cj = cj.And(Atom{Block: bs[i+1], Succ: 1})
+		}
+		c = c.Or(cj)
+	}
+	if !c.IsTrue() {
+		t.Errorf("oversized condition should degrade to True, has %d conjs", len(c.Disj))
+	}
+}
+
+// randCond builds a random condition over the given branch blocks.
+func randCond(r *rand.Rand, bs []*ir.Block) Cond {
+	c := False()
+	nconj := 1 + r.Intn(3)
+	for i := 0; i < nconj; i++ {
+		cj := True()
+		for k := 0; k < 1+r.Intn(3); k++ {
+			cj = cj.And(Atom{Block: bs[r.Intn(len(bs))], Succ: r.Intn(2)})
+		}
+		c = c.Or(cj)
+	}
+	return c
+}
+
+// eval evaluates a condition under a truth assignment of branch outcomes.
+func evalCond(c Cond, outcome map[*ir.Block]int) bool {
+	for _, cj := range c.Disj {
+		all := true
+		for _, a := range cj {
+			if outcome[a.Block] != a.Succ {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: Exclusive(c1, c2) implies no outcome satisfies both; and the
+// Or/And operators agree with boolean evaluation.
+func TestCondProperties(t *testing.T) {
+	bs := testBranches(4)
+	r := rand.New(rand.NewSource(12345))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		c1 := randCond(rr, bs)
+		c2 := randCond(rr, bs)
+		or := c1.Or(c2)
+		excl := Exclusive(c1, c2)
+		// Enumerate all 2^4 outcomes.
+		for m := 0; m < 16; m++ {
+			outcome := map[*ir.Block]int{}
+			for i, b := range bs {
+				outcome[b] = (m >> i) & 1
+			}
+			e1, e2 := evalCond(c1, outcome), evalCond(c2, outcome)
+			if evalCond(or, outcome) != (e1 || e2) {
+				return false
+			}
+			if excl && e1 && e2 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: r}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: And distributes over the disjunction.
+func TestAndProperty(t *testing.T) {
+	bs := testBranches(4)
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		c := randCond(rr, bs)
+		a := Atom{Block: bs[rr.Intn(len(bs))], Succ: rr.Intn(2)}
+		anded := c.And(a)
+		for m := 0; m < 16; m++ {
+			outcome := map[*ir.Block]int{}
+			for i, b := range bs {
+				outcome[b] = (m >> i) & 1
+			}
+			want := evalCond(c, outcome) && outcome[a.Block] == a.Succ
+			if evalCond(anded, outcome) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package ast defines the abstract syntax tree for MiniC, including the
+// paper's dynamic-compilation annotations (dynamicRegion, key, unrolled,
+// dynamic dereference).
+package ast
+
+import (
+	"dyncc/internal/token"
+)
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------- types
+
+// TypeExpr is a syntactic type: a base type plus pointer and array derivations.
+type TypeExpr struct {
+	P          token.Pos
+	Base       token.Kind // KwInt, KwUnsigned, KwFloat, KwDouble, KwChar, KwVoid, KwStruct
+	StructName string     // when Base == KwStruct
+	Ptr        int        // number of '*'
+	ArrayLens  []int      // outermost first; -1 for unsized []
+}
+
+// Pos returns the source position of the type expression.
+func (t *TypeExpr) Pos() token.Pos { return t.P }
+
+// ---------------------------------------------------------------- decls
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	P      token.Pos
+	Name   string
+	Fields []*Param
+}
+
+// Pos returns the declaration position.
+func (d *StructDecl) Pos() token.Pos { return d.P }
+
+// Param is a function parameter or struct field.
+type Param struct {
+	P    token.Pos
+	Name string
+	Type *TypeExpr
+}
+
+// Pos returns the parameter position.
+func (p *Param) Pos() token.Pos { return p.P }
+
+// VarDecl declares a variable (global or local).
+type VarDecl struct {
+	P    token.Pos
+	Name string
+	Type *TypeExpr
+	Init Expr // may be nil
+}
+
+// Pos returns the declaration position.
+func (d *VarDecl) Pos() token.Pos { return d.P }
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	P      token.Pos
+	Name   string
+	Params []*Param
+	Ret    *TypeExpr
+	Body   *Block // nil for extern declarations
+}
+
+// Pos returns the declaration position.
+func (d *FuncDecl) Pos() token.Pos { return d.P }
+
+// ---------------------------------------------------------------- stmts
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a brace-enclosed statement list.
+type Block struct {
+	P     token.Pos
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct {
+	P     token.Pos
+	Decls []*VarDecl
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	P token.Pos
+	X Expr
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ P token.Pos }
+
+// If is an if/else statement.
+type If struct {
+	P    token.Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	P    token.Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do/while loop.
+type DoWhile struct {
+	P    token.Pos
+	Body Stmt
+	Cond Expr
+}
+
+// For is a for loop; Unrolled marks the paper's `unrolled for` annotation.
+type For struct {
+	P        token.Pos
+	Init     Stmt // DeclStmt or ExprStmt or nil
+	Cond     Expr // may be nil
+	Post     Expr // may be nil
+	Body     Stmt
+	Unrolled bool
+}
+
+// Switch is a C switch statement (cases may fall through).
+type Switch struct {
+	P    token.Pos
+	Tag  Expr
+	Body *Block // contains Case/Default labels interleaved with stmts
+}
+
+// Case labels a switch arm; Default when IsDefault is set.
+type Case struct {
+	P         token.Pos
+	Value     Expr // constant expression; nil for default
+	IsDefault bool
+}
+
+// Break exits the innermost loop or switch.
+type Break struct{ P token.Pos }
+
+// Continue continues the innermost loop.
+type Continue struct{ P token.Pos }
+
+// Goto jumps to a label.
+type Goto struct {
+	P     token.Pos
+	Label string
+}
+
+// LabeledStmt attaches a label to a statement.
+type LabeledStmt struct {
+	P     token.Pos
+	Label string
+	Stmt  Stmt
+}
+
+// Return returns from the enclosing function.
+type Return struct {
+	P token.Pos
+	X Expr // may be nil
+}
+
+// DynamicRegion is the paper's dynamicRegion annotation: the body is
+// compiled dynamically, with Consts invariant at run time and Keys
+// selecting among cached compiled versions.
+type DynamicRegion struct {
+	P      token.Pos
+	Keys   []string // key(...) variables; also run-time constants
+	Consts []string // run-time constant variables at region entry
+	Body   *Block
+}
+
+// Pos implementations.
+func (s *Block) Pos() token.Pos         { return s.P }
+func (s *DeclStmt) Pos() token.Pos      { return s.P }
+func (s *ExprStmt) Pos() token.Pos      { return s.P }
+func (s *EmptyStmt) Pos() token.Pos     { return s.P }
+func (s *If) Pos() token.Pos            { return s.P }
+func (s *While) Pos() token.Pos         { return s.P }
+func (s *DoWhile) Pos() token.Pos       { return s.P }
+func (s *For) Pos() token.Pos           { return s.P }
+func (s *Switch) Pos() token.Pos        { return s.P }
+func (s *Case) Pos() token.Pos          { return s.P }
+func (s *Break) Pos() token.Pos         { return s.P }
+func (s *Continue) Pos() token.Pos      { return s.P }
+func (s *Goto) Pos() token.Pos          { return s.P }
+func (s *LabeledStmt) Pos() token.Pos   { return s.P }
+func (s *Return) Pos() token.Pos        { return s.P }
+func (s *DynamicRegion) Pos() token.Pos { return s.P }
+
+func (*Block) stmt()         {}
+func (*DeclStmt) stmt()      {}
+func (*ExprStmt) stmt()      {}
+func (*EmptyStmt) stmt()     {}
+func (*If) stmt()            {}
+func (*While) stmt()         {}
+func (*DoWhile) stmt()       {}
+func (*For) stmt()           {}
+func (*Switch) stmt()        {}
+func (*Case) stmt()          {}
+func (*Break) stmt()         {}
+func (*Continue) stmt()      {}
+func (*Goto) stmt()          {}
+func (*LabeledStmt) stmt()   {}
+func (*Return) stmt()        {}
+func (*DynamicRegion) stmt() {}
+
+// ---------------------------------------------------------------- exprs
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Ident is a variable or function reference.
+type Ident struct {
+	P    token.Pos
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	P   token.Pos
+	Val int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	P   token.Pos
+	Val float64
+}
+
+// StringLit is a string literal (used only as an argument to builtins).
+type StringLit struct {
+	P   token.Pos
+	Val string
+}
+
+// Unary is a prefix unary expression: - ~ ! & * ++ --.
+// For Op == token.STAR, Dynamic marks `dynamic*` (result is never a
+// run-time constant even if the pointer is).
+type Unary struct {
+	P       token.Pos
+	Op      token.Kind
+	X       Expr
+	Dynamic bool // only for STAR
+}
+
+// PostIncDec is x++ or x--.
+type PostIncDec struct {
+	P  token.Pos
+	Op token.Kind // INC or DEC
+	X  Expr
+}
+
+// Binary is a binary expression.
+type Binary struct {
+	P    token.Pos
+	Op   token.Kind
+	L, R Expr
+}
+
+// Assign is an assignment, possibly compound (Op is ASSIGN, ADDA, ...).
+type Assign struct {
+	P    token.Pos
+	Op   token.Kind
+	L, R Expr
+}
+
+// Cond is the ternary conditional.
+type Cond struct {
+	P       token.Pos
+	C, T, F Expr
+}
+
+// Call is a function call.
+type Call struct {
+	P    token.Pos
+	Fun  string
+	Args []Expr
+}
+
+// Index is a[i]; Dynamic marks `a dynamic[i]`.
+type Index struct {
+	P       token.Pos
+	X, I    Expr
+	Dynamic bool
+}
+
+// Field is x.f or p->f; Dynamic marks `p dynamic->f`.
+type Field struct {
+	P       token.Pos
+	X       Expr
+	Name    string
+	Arrow   bool
+	Dynamic bool
+}
+
+// Cast is (type)x.
+type Cast struct {
+	P    token.Pos
+	Type *TypeExpr
+	X    Expr
+}
+
+// SizeofType is sizeof(type); value in words.
+type SizeofType struct {
+	P    token.Pos
+	Type *TypeExpr
+}
+
+// Pos implementations.
+func (e *Ident) Pos() token.Pos      { return e.P }
+func (e *IntLit) Pos() token.Pos     { return e.P }
+func (e *FloatLit) Pos() token.Pos   { return e.P }
+func (e *StringLit) Pos() token.Pos  { return e.P }
+func (e *Unary) Pos() token.Pos      { return e.P }
+func (e *PostIncDec) Pos() token.Pos { return e.P }
+func (e *Binary) Pos() token.Pos     { return e.P }
+func (e *Assign) Pos() token.Pos     { return e.P }
+func (e *Cond) Pos() token.Pos       { return e.P }
+func (e *Call) Pos() token.Pos       { return e.P }
+func (e *Index) Pos() token.Pos      { return e.P }
+func (e *Field) Pos() token.Pos      { return e.P }
+func (e *Cast) Pos() token.Pos       { return e.P }
+func (e *SizeofType) Pos() token.Pos { return e.P }
+
+func (*Ident) expr()      {}
+func (*IntLit) expr()     {}
+func (*FloatLit) expr()   {}
+func (*StringLit) expr()  {}
+func (*Unary) expr()      {}
+func (*PostIncDec) expr() {}
+func (*Binary) expr()     {}
+func (*Assign) expr()     {}
+func (*Cond) expr()       {}
+func (*Call) expr()       {}
+func (*Index) expr()      {}
+func (*Field) expr()      {}
+func (*Cast) expr()       {}
+func (*SizeofType) expr() {}

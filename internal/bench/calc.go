@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+
+	"dyncc/internal/vm"
+)
+
+// CalcSource is the reverse-polish stack-based desk calculator (Table 2
+// row 1). The RPN program being interpreted is the run-time constant; the
+// dynamic compiler unrolls the dispatch loop over it and eliminates the
+// opcode switch, leaving straight-line arithmetic over the operand stack.
+const CalcSource = `
+/* RPN opcodes: 0 push-const(arg), 1 push-x, 2 push-y, 3 add, 4 sub,
+   5 mul, 6 neg */
+int calcEval(int *prog, int n, int x, int y) {
+    int stack[64];
+    dynamicRegion (prog, n) {
+        int sp = 0;
+        int pc;
+        unrolled for (pc = 0; pc < n; pc++) {
+            int op = prog[pc*2];
+            int arg = prog[pc*2+1];
+            switch (op) {
+            case 0: stack dynamic[sp] = arg; sp++; break;
+            case 1: stack dynamic[sp] = x; sp++; break;
+            case 2: stack dynamic[sp] = y; sp++; break;
+            case 3:
+                sp--;
+                stack dynamic[sp-1] = stack dynamic[sp-1] + stack dynamic[sp];
+                break;
+            case 4:
+                sp--;
+                stack dynamic[sp-1] = stack dynamic[sp-1] - stack dynamic[sp];
+                break;
+            case 5:
+                sp--;
+                stack dynamic[sp-1] = stack dynamic[sp-1] * stack dynamic[sp];
+                break;
+            case 6:
+                stack dynamic[sp-1] = -stack dynamic[sp-1];
+                break;
+            }
+        }
+        return stack dynamic[0];
+    }
+    return 0;
+}`
+
+// RPN opcode values.
+const (
+	opPushC = iota
+	opPushX
+	opPushY
+	opAdd
+	opSub
+	opMul
+	opNeg
+)
+
+// CalcExpr is the paper's expression,
+//
+//	x*y - 3*y*y - x*x + (x+5)*y - x + x + y - 1
+//
+// in RPN form: pairs of (opcode, argument).
+var CalcExpr = [][2]int64{
+	{opPushX, 0}, {opPushY, 0}, {opMul, 0},
+	{opPushC, 3}, {opPushY, 0}, {opMul, 0}, {opPushY, 0}, {opMul, 0}, {opSub, 0},
+	{opPushX, 0}, {opPushX, 0}, {opMul, 0}, {opSub, 0},
+	{opPushX, 0}, {opPushC, 5}, {opAdd, 0}, {opPushY, 0}, {opMul, 0}, {opAdd, 0},
+	{opPushX, 0}, {opSub, 0},
+	{opPushX, 0}, {opAdd, 0},
+	{opPushY, 0}, {opAdd, 0},
+	{opPushC, 1}, {opSub, 0},
+}
+
+// CalcGold evaluates the same expression natively.
+func CalcGold(x, y int64) int64 {
+	return x*y - 3*y*y - x*x + (x+5)*y - x + x + y - 1
+}
+
+type calcState struct {
+	prog int64
+	n    int64
+}
+
+func buildCalc(m *vm.Machine) (any, error) {
+	n := int64(len(CalcExpr))
+	prog, err := m.Alloc(n * 2)
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range CalcExpr {
+		m.Mem[prog+int64(i*2)] = cell[0]
+		m.Mem[prog+int64(i*2)+1] = cell[1]
+	}
+	return &calcState{prog: prog, n: n}, nil
+}
+
+func useCalc(m *vm.Machine, state any, i int) error {
+	st := state.(*calcState)
+	x := int64(i%97) - 48
+	y := int64((i*7)%89) - 41
+	got, err := m.Call("calcEval", st.prog, st.n, x, y)
+	if err != nil {
+		return err
+	}
+	if want := CalcGold(x, y); got != want {
+		return fmt.Errorf("calcEval(%d,%d) = %d, want %d", x, y, got, want)
+	}
+	return nil
+}
+
+func calcBenchmark() *benchmark {
+	return &benchmark{
+		name:        "calculator",
+		config:      "rpn expr, varying x,y",
+		unit:        "interpretations",
+		source:      CalcSource,
+		uses:        2000,
+		unitsPerUse: 1,
+		build:       buildCalc,
+		use:         useCalc,
+	}
+}
+
+// Calculator measures Table 2 row 1.
+func Calculator(cfg Config) (*Measurement, error) { return measure(calcBenchmark(), cfg) }

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+
+	"dyncc/internal/vm"
+)
+
+// DispatchSource is the event dispatcher of an extensible operating system
+// (Table 2 row 5; [BSP+95, CEA+96]). The set of installed handlers and
+// their guard predicates is the run-time constant; dispatch is unrolled
+// over the handler list with each guard's predicate-type switch eliminated
+// and its argument inlined.
+const DispatchSource = `
+/* guard table entries: [predType, predArg, handlerWeight] */
+int runHandler(int w, int payload) {
+    return payload * 3 + w;
+}
+
+int dispatch(int *table, int n, int event, int payload) {
+    int result = 0;
+    dynamicRegion (table, n) {
+        int i;
+        unrolled for (i = 0; i < n; i++) {
+            int ptype = table[i*3];
+            int parg = table[i*3+1];
+            int w = table[i*3+2];
+            int match = 0;
+            switch (ptype) {
+            case 0: match = event == parg; break;        /* exact */
+            case 1: match = event != parg; break;        /* exclusion */
+            case 2: match = (event & parg) != 0; break;  /* mask */
+            case 3: match = event < parg; break;         /* range */
+            }
+            if (match) {
+                result = result + runHandler(w, payload);
+            }
+        }
+    }
+    return result;
+}`
+
+type dispatchState struct {
+	table int64
+	n     int64
+	// host copy for verification
+	guards [][3]int64
+}
+
+// The paper's configuration: 4 predicate types, 10 event guards.
+var dispatchGuards = [][3]int64{
+	{0, 17, 3}, {1, 4, 5}, {2, 0x10, 7}, {3, 100, 11},
+	{0, 42, 13}, {2, 0x3, 17}, {3, 9, 19}, {1, 17, 23},
+	{0, 5, 29}, {2, 0x80, 31},
+}
+
+func buildDispatch(m *vm.Machine) (any, error) {
+	n := int64(len(dispatchGuards))
+	table, err := m.Alloc(n * 3)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range dispatchGuards {
+		m.Mem[table+int64(i*3)] = g[0]
+		m.Mem[table+int64(i*3)+1] = g[1]
+		m.Mem[table+int64(i*3)+2] = g[2]
+	}
+	return &dispatchState{table: table, n: n, guards: dispatchGuards}, nil
+}
+
+func dispatchGold(st *dispatchState, event, payload int64) int64 {
+	result := int64(0)
+	for _, g := range st.guards {
+		match := false
+		switch g[0] {
+		case 0:
+			match = event == g[1]
+		case 1:
+			match = event != g[1]
+		case 2:
+			match = event&g[1] != 0
+		case 3:
+			match = event < g[1]
+		}
+		if match {
+			result += payload*3 + g[2]
+		}
+	}
+	return result
+}
+
+func useDispatch(m *vm.Machine, state any, i int) error {
+	st := state.(*dispatchState)
+	event := int64(i*31) % 257
+	payload := int64(i % 1000)
+	got, err := m.Call("dispatch", st.table, st.n, event, payload)
+	if err != nil {
+		return err
+	}
+	if want := dispatchGold(st, event, payload); got != want {
+		return fmt.Errorf("dispatch(%d,%d) = %d, want %d", event, payload, got, want)
+	}
+	return nil
+}
+
+func dispatchBenchmark() *benchmark {
+	return &benchmark{
+		name:        "event dispatcher",
+		config:      "4 predicate types, 10 guards",
+		unit:        "event dispatches",
+		source:      DispatchSource,
+		uses:        3000,
+		unitsPerUse: 1,
+		build:       buildDispatch,
+		use:         useDispatch,
+	}
+}
+
+// Dispatcher measures Table 2 row 5.
+func Dispatcher(cfg Config) (*Measurement, error) { return measure(dispatchBenchmark(), cfg) }

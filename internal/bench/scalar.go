@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"dyncc/internal/vm"
+)
+
+// ScalarSource is scalar-matrix multiply (Table 2 row 2, adapted from
+// 'C [EHK96]). The region is *keyed* by the scalar: a separate compiled
+// version is stitched per distinct scalar, with the multiplication
+// strength-reduced against the actual value.
+const ScalarSource = `
+int smm(int *src, int *dst, int n, int s) {
+    dynamicRegion key(s) () {
+        int i;
+        for (i = 0; i < n; i++) {
+            dst dynamic[i] = src dynamic[i] * s;
+        }
+    }
+    return 0;
+}`
+
+type scalarState struct {
+	src, dst int64
+	n        int64
+}
+
+// Matrix dimensions: paper uses 100x800 = 80000 elements.
+const (
+	scalarRows = 100
+	scalarCols = 800
+)
+
+func buildScalar(m *vm.Machine) (any, error) {
+	n := int64(scalarRows * scalarCols)
+	src, err := m.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := m.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := int64(0); i < n; i++ {
+		m.Mem[src+i] = (i*2654435761 + 12345) % 1000
+	}
+	return &scalarState{src: src, dst: dst, n: n}, nil
+}
+
+func useScalar(m *vm.Machine, state any, i int) error {
+	st := state.(*scalarState)
+	s := int64(i%100) + 1 // all scalars 1..100
+	if _, err := m.Call("smm", st.src, st.dst, st.n, s); err != nil {
+		return err
+	}
+	// Spot check.
+	k := int64(i % 1000)
+	if m.Mem[st.dst+k] != m.Mem[st.src+k]*s {
+		return fmt.Errorf("smm(%d): dst[%d] = %d, want %d", s, k,
+			m.Mem[st.dst+k], m.Mem[st.src+k]*s)
+	}
+	return nil
+}
+
+func scalarBenchmark() *benchmark {
+	return &benchmark{
+		name:        "scalar-matrix multiply",
+		config:      "100x800, scalars 1..100 (keyed)",
+		unit:        "multiplications",
+		source:      ScalarSource,
+		uses:        100, // one pass per scalar
+		unitsPerUse: scalarRows * scalarCols,
+		build:       buildScalar,
+		use:         useScalar,
+	}
+}
+
+// ScalarMatrix measures Table 2 row 2.
+func ScalarMatrix(cfg Config) (*Measurement, error) {
+	mes, err := measure(scalarBenchmark(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Keyed region: the overhead reported is the total across all 100
+	// compiled versions; breakeven is computed against the per-version
+	// average, matching the paper's "individual multiplications" unit.
+	if mes.Compiles > 0 && mes.StaticPerUnit > mes.DynPerUnit {
+		perVersion := float64(mes.Overhead) / float64(mes.Compiles)
+		mes.Breakeven = int(perVersion/(mes.StaticPerUnit-mes.DynPerUnit)) + 1
+	}
+	return mes, nil
+}

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+
+	"dyncc/internal/vm"
+)
+
+// SorterSource is the QuickSort record sorter (Table 2 rows 6-7, extended
+// from [KEH93]). The key descriptor — how many keys, each key's type and
+// ordering — is the run-time constant; the comparator is unrolled over the
+// keys with each key-type switch eliminated.
+const SorterSource = `
+/* key types: 0 int asc, 1 int desc, 2 unsigned asc, 3 boolean asc */
+int compareRec(int *a, int *b, int *desc, int nkeys) {
+    dynamicRegion (desc, nkeys) {
+        int i;
+        unrolled for (i = 0; i < nkeys; i++) {
+            int t = desc[i];
+            int av = a dynamic[i];
+            int bv = b dynamic[i];
+            switch (t) {
+            case 0:
+                if (av < bv) return -1;
+                if (av > bv) return 1;
+                break;
+            case 1:
+                if (av > bv) return -1;
+                if (av < bv) return 1;
+                break;
+            case 2: {
+                unsigned ua = (unsigned)av;
+                unsigned ub = (unsigned)bv;
+                if (ua < ub) return -1;
+                if (ua > ub) return 1;
+                break;
+            }
+            case 3: {
+                int ab = av != 0;
+                int bb = bv != 0;
+                if (ab < bb) return -1;
+                if (ab > bb) return 1;
+                break;
+            }
+            }
+        }
+        return 0;
+    }
+    return 0;
+}
+
+void swapRec(int *recs, int stride, int i, int j) {
+    int k;
+    for (k = 0; k < stride; k++) {
+        int t = recs[i*stride+k];
+        recs[i*stride+k] = recs[j*stride+k];
+        recs[j*stride+k] = t;
+    }
+}
+
+void qsortRecs(int *recs, int stride, int lo, int hi, int *desc, int nkeys) {
+    if (lo >= hi) return;
+    int p = lo + (hi - lo) / 2;
+    swapRec(recs, stride, p, hi);
+    int store = lo;
+    int i;
+    for (i = lo; i < hi; i++) {
+        if (compareRec(recs + i*stride, recs + hi*stride, desc, nkeys) < 0) {
+            swapRec(recs, stride, i, store);
+            store++;
+        }
+    }
+    swapRec(recs, stride, store, hi);
+    qsortRecs(recs, stride, lo, store-1, desc, nkeys);
+    qsortRecs(recs, stride, store+1, hi, desc, nkeys);
+}
+
+int sortRecords(int *recs, int stride, int n, int *desc, int nkeys) {
+    qsortRecs(recs, stride, 0, n-1, desc, nkeys);
+    return 0;
+}`
+
+type sorterState struct {
+	recs, desc int64
+	n, nkeys   int64
+	rng        uint64
+	keyTypes   []int64
+}
+
+const sorterRecords = 600
+
+func buildSorter(nkeys int) func(m *vm.Machine) (any, error) {
+	return func(m *vm.Machine) (any, error) {
+		keyTypes := make([]int64, nkeys)
+		for i := range keyTypes {
+			keyTypes[i] = int64(i % 4)
+		}
+		desc, err := m.Alloc(int64(nkeys))
+		if err != nil {
+			return nil, err
+		}
+		for i, t := range keyTypes {
+			m.Mem[desc+int64(i)] = t
+		}
+		recs, err := m.Alloc(int64(sorterRecords * nkeys))
+		if err != nil {
+			return nil, err
+		}
+		return &sorterState{recs: recs, desc: desc, n: sorterRecords,
+			nkeys: int64(nkeys), rng: 0x9E3779B97F4A7C15, keyTypes: keyTypes}, nil
+	}
+}
+
+func (st *sorterState) next() uint64 {
+	st.rng ^= st.rng << 13
+	st.rng ^= st.rng >> 7
+	st.rng ^= st.rng << 17
+	return st.rng
+}
+
+// fill randomizes record contents; early keys get low cardinality so later
+// keys decide some comparisons.
+func (st *sorterState) fill(m *vm.Machine) {
+	for r := int64(0); r < st.n; r++ {
+		for k := int64(0); k < st.nkeys; k++ {
+			v := int64(st.next())
+			switch {
+			case k == 0:
+				v = v % 4 // low cardinality: force deeper comparisons
+			case st.keyTypes[k] == 3:
+				v = v & 1
+			default:
+				v = v % 1000
+			}
+			m.Mem[st.recs+r*st.nkeys+k] = v
+		}
+	}
+}
+
+// gold compares two records host-side.
+func (st *sorterState) gold(m *vm.Machine, a, b int64) int {
+	for k := int64(0); k < st.nkeys; k++ {
+		av := m.Mem[st.recs+a*st.nkeys+k]
+		bv := m.Mem[st.recs+b*st.nkeys+k]
+		var c int
+		switch st.keyTypes[k] {
+		case 0:
+			c = cmpI(av, bv)
+		case 1:
+			c = -cmpI(av, bv)
+		case 2:
+			c = cmpU(uint64(av), uint64(bv))
+		case 3:
+			c = cmpI(b2(av), b2(bv))
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func cmpI(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+func cmpU(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+func b2(v int64) int64 {
+	if v != 0 {
+		return 1
+	}
+	return 0
+}
+
+func useSorter(m *vm.Machine, state any, i int) error {
+	st := state.(*sorterState)
+	st.fill(m)
+	if _, err := m.Call("sortRecords", st.recs, st.nkeys, st.n, st.desc, st.nkeys); err != nil {
+		return err
+	}
+	for r := int64(0); r+1 < st.n; r++ {
+		if st.gold(m, r, r+1) > 0 {
+			return fmt.Errorf("records %d and %d out of order", r, r+1)
+		}
+	}
+	return nil
+}
+
+func sorterBenchmark(nkeys, uses int, config string) *benchmark {
+	return &benchmark{
+		name:        "record sorter",
+		config:      config,
+		unit:        "records",
+		source:      SorterSource,
+		uses:        uses,
+		unitsPerUse: sorterRecords,
+		build:       buildSorter(nkeys),
+		use:         useSorter,
+	}
+}
+
+// Sorter4 measures Table 2 row 6 (4 keys of different types).
+func Sorter4(cfg Config) (*Measurement, error) {
+	return measure(sorterBenchmark(4, 6, "4 keys, each of a different type"), cfg)
+}
+
+// Sorter32 measures Table 2 row 7 (32 keys).
+func Sorter32(cfg Config) (*Measurement, error) {
+	return measure(sorterBenchmark(32, 4, "32 keys, each of a different type"), cfg)
+}

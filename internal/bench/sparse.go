@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"dyncc/internal/vm"
+)
+
+// SparseSource is sparse matrix-vector multiply (Table 2 rows 3-4). The
+// matrix — its sparsity pattern *and* values — is the run-time constant:
+// both loops are completely unrolled (nested unrolled loops, nested table
+// records) and the column indices and element values are embedded in the
+// stitched code.
+const SparseSource = `
+/* CSR: rowstart[nrows+1], colidx[nnz], vals[nnz] (float) */
+int spmv(int *rowstart, int *colidx, float *vals, float *x, float *y, int nrows) {
+    dynamicRegion (rowstart, colidx, vals, nrows) {
+        int r;
+        unrolled for (r = 0; r < nrows; r++) {
+            float sum = 0.0;
+            int lo = rowstart[r];
+            int hi = rowstart[r+1];
+            int k;
+            unrolled for (k = lo; k < hi; k++) {
+                sum = sum + vals[k] * x dynamic[colidx[k]];
+            }
+            y dynamic[r] = sum;
+        }
+    }
+    return 0;
+}`
+
+type sparseState struct {
+	rowstart, colidx, vals, x, y int64
+	nrows                        int64
+	perRow                       int
+	// host copies for verification
+	hRow  []int64
+	hCol  []int64
+	hVal  []float64
+	hXadr int64
+}
+
+// buildSparse constructs an n x n CSR matrix with perRow elements per row
+// (pseudo-random columns, deterministic).
+func buildSparse(n, perRow int) func(m *vm.Machine) (any, error) {
+	return func(m *vm.Machine) (any, error) {
+		nnz := n * perRow
+		alloc := func(k int64) (int64, error) { return m.Alloc(k) }
+		rowstart, err := alloc(int64(n + 1))
+		if err != nil {
+			return nil, err
+		}
+		colidx, _ := alloc(int64(nnz))
+		vals, _ := alloc(int64(nnz))
+		x, _ := alloc(int64(n))
+		y, err := alloc(int64(n))
+		if err != nil {
+			return nil, err
+		}
+		st := &sparseState{rowstart: rowstart, colidx: colidx, vals: vals,
+			x: x, y: y, nrows: int64(n), perRow: perRow, hXadr: x}
+		rng := uint64(88172645463325252)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		k := 0
+		for r := 0; r <= n; r++ {
+			m.Mem[rowstart+int64(r)] = int64(k)
+			st.hRow = append(st.hRow, int64(k))
+			if r == n {
+				break
+			}
+			for e := 0; e < perRow; e++ {
+				c := int64(next() % uint64(n))
+				v := float64(next()%1000)/100.0 - 5.0
+				m.Mem[colidx+int64(k)] = c
+				m.Mem[vals+int64(k)] = int64(math.Float64bits(v))
+				st.hCol = append(st.hCol, c)
+				st.hVal = append(st.hVal, v)
+				k++
+			}
+		}
+		return st, nil
+	}
+}
+
+func useSparse(m *vm.Machine, state any, i int) error {
+	st := state.(*sparseState)
+	// New x vector each multiplication.
+	for j := int64(0); j < st.nrows; j++ {
+		m.Mem[st.x+j] = int64(math.Float64bits(float64((j*7+int64(i))%13) - 6.0))
+	}
+	if _, err := m.Call("spmv", st.rowstart, st.colidx, st.vals, st.x, st.y, st.nrows); err != nil {
+		return err
+	}
+	// Verify one row.
+	r := int64(i) % st.nrows
+	want := 0.0
+	for k := st.hRow[r]; k < st.hRow[r+1]; k++ {
+		want += st.hVal[k] * math.Float64frombits(uint64(m.Mem[st.x+st.hCol[k]]))
+	}
+	got := math.Float64frombits(uint64(m.Mem[st.y+r]))
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		return fmt.Errorf("spmv row %d: got %g want %g", r, got, want)
+	}
+	return nil
+}
+
+func sparseBenchmark(n, perRow, uses int, config string) *benchmark {
+	return &benchmark{
+		name:        "sparse matrix-vector multiply",
+		config:      config,
+		unit:        "matrix multiplications",
+		source:      SparseSource,
+		uses:        uses,
+		unitsPerUse: 1,
+		build:       buildSparse(n, perRow),
+		use:         useSparse,
+	}
+}
+
+// SparseLarge measures Table 2 row 3 (200x200, 10 elements/row).
+func SparseLarge(cfg Config) (*Measurement, error) {
+	return measure(sparseBenchmark(200, 10, 30, "200x200, 10/row, 5% density"), cfg)
+}
+
+// SparseSmall measures Table 2 row 4 (96x96, 5 elements/row).
+func SparseSmall(cfg Config) (*Measurement, error) {
+	return measure(sparseBenchmark(96, 5, 60, "96x96, 5/row, 5% density"), cfg)
+}

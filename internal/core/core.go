@@ -1,0 +1,204 @@
+// Package core is the end-to-end compiler driver: it parses MiniC, lowers
+// to IR, builds SSA, optimizes, runs the paper's region analyses and
+// splitter, generates VM code and templates, and wires the run-time
+// stitcher. It is the paper's whole system glued together.
+package core
+
+import (
+	"fmt"
+
+	"dyncc/internal/codegen"
+	"dyncc/internal/ir"
+	"dyncc/internal/lower"
+	"dyncc/internal/opt"
+	"dyncc/internal/parser"
+	"dyncc/internal/regalloc"
+	"dyncc/internal/rtr"
+	"dyncc/internal/split"
+	"dyncc/internal/stitcher"
+	"dyncc/internal/vm"
+)
+
+// Config selects compilation behaviour.
+type Config struct {
+	// Dynamic enables dynamic compilation of annotated regions. When
+	// false, regions are compiled statically (annotations only drive
+	// instrumentation), which is the paper's baseline.
+	Dynamic bool
+	// Optimize runs the static optimizer (on by default via DefaultConfig).
+	Optimize bool
+	// Stitcher options (strength-reduction ablation, register actions).
+	Stitcher stitcher.Options
+	// MergedStitch enables the paper's section 7 one-pass mode: set-up is
+	// evaluated host-side during stitching instead of running as inline VM
+	// code, eliminating the intermediate directive/set-up interpretation
+	// cost ("merging these components into a single pass should
+	// drastically reduce our dynamic compilation costs").
+	MergedStitch bool
+}
+
+// DefaultConfig compiles dynamically with full optimization.
+func DefaultConfig() Config {
+	return Config{Dynamic: true, Optimize: true}
+}
+
+// Compiled is a fully compiled program.
+type Compiled struct {
+	Config  Config
+	Module  *ir.Module
+	Output  *codegen.Output
+	Splits  map[*ir.Region]*split.Result
+	Runtime *rtr.Runtime
+	Opt     map[string]opt.Stats
+}
+
+// Compile compiles MiniC source text.
+func Compile(src string, cfg Config) (*Compiled, error) {
+	file, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := lower.Lower(file)
+	if err != nil {
+		return nil, err
+	}
+
+	optStats := map[string]opt.Stats{}
+	for _, f := range mod.Funcs {
+		ir.BuildSSA(f)
+		if err := ir.Verify(f); err != nil {
+			return nil, fmt.Errorf("internal: post-SSA verify: %w", err)
+		}
+		if cfg.Optimize {
+			optStats[f.Name] = opt.Optimize(f)
+			if err := ir.Verify(f); err != nil {
+				return nil, fmt.Errorf("internal: post-opt verify: %w", err)
+			}
+		}
+	}
+
+	splits := map[*ir.Region]*split.Result{}
+	if cfg.Dynamic {
+		for _, f := range mod.Funcs {
+			for _, r := range f.Regions {
+				sr, err := split.Split(f, r)
+				if err != nil {
+					return nil, err
+				}
+				splits[r] = sr
+			}
+		}
+	}
+
+	out, err := codegen.Compile(mod, splits)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		Config: cfg,
+		Module: mod,
+		Output: out,
+		Splits: splits,
+		Opt:    optStats,
+	}
+	c.Runtime = rtr.New(out.Prog, out.Regions, cfg.Stitcher)
+	if cfg.Dynamic && cfg.MergedStitch {
+		idx := 0
+		for _, f := range mod.Funcs {
+			for _, r := range f.Regions {
+				if sr := splits[r]; sr != nil {
+					c.Runtime.SetupFn[idx] = makeSetupFn(mod, f, sr, out.FuncAlloc[f.Name])
+				}
+				idx++
+			}
+		}
+	}
+	return c, nil
+}
+
+// mergedSetupCostPerStep is the modeled cycle cost of one set-up operation
+// evaluated host-side in merged mode (cheaper than the two-pass scheme's
+// VM set-up + table indirection, which is the point of section 7).
+const mergedSetupCostPerStep = 2
+
+// makeSetupFn builds the host-side set-up evaluator for one region: it
+// reads the set-up subgraph's inputs out of the live machine (registers or
+// spill slots), interprets the subgraph directly against machine memory,
+// and returns the run-time constants table base.
+func makeSetupFn(mod *ir.Module, f *ir.Func, sr *split.Result,
+	alloc *regalloc.Allocation) func(m *vm.Machine) (int64, uint64, error) {
+
+	// Values read by set-up code but defined outside it.
+	defined := map[ir.Value]bool{}
+	for _, b := range f.Blocks {
+		if !b.Setup || b.Region != sr.Region {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Dst != 0 {
+				defined[in.Dst] = true
+			}
+		}
+	}
+	var inputs []ir.Value
+	seen := map[ir.Value]bool{}
+	for _, b := range f.Blocks {
+		if !b.Setup || b.Region != sr.Region {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !defined[a] && !seen[a] {
+					seen[a] = true
+					inputs = append(inputs, a)
+				}
+			}
+		}
+	}
+
+	return func(m *vm.Machine) (int64, uint64, error) {
+		env := &ir.InterpEnv{
+			Mod:          mod,
+			Mem:          m.Mem,
+			Limit:        1 << 20,
+			AllocFn:      m.Alloc,
+			FrameBase:    m.Regs[vm.RSP],
+			UseFrameBase: true,
+		}
+		init := map[ir.Value]int64{}
+		for _, v := range inputs {
+			loc := alloc.Loc[v]
+			switch {
+			case loc.Spilled:
+				a := m.Regs[vm.RSP] + int64(loc.Slot)
+				if a < 0 || a >= int64(len(m.Mem)) {
+					return 0, 0, fmt.Errorf("merged set-up: spill slot out of bounds")
+				}
+				init[v] = m.Mem[a]
+			case loc.Reg != 0:
+				init[v] = m.Regs[loc.Reg]
+			default:
+				init[v] = 0
+			}
+		}
+		tbl, err := env.RunSetup(f, sr.SetupEntry, init)
+		return tbl, uint64(env.Steps) * mergedSetupCostPerStep, err
+	}
+}
+
+// NewMachine creates a VM with the runtime attached. memWords <= 0 picks
+// the default size.
+func (c *Compiled) NewMachine(memWords int) *vm.Machine {
+	m := vm.NewMachine(c.Output.Prog, memWords)
+	c.Runtime.Attach(m)
+	return m
+}
+
+// Regions returns all IR regions in module order (matching global indices).
+func (c *Compiled) Regions() []*ir.Region {
+	var rs []*ir.Region
+	for _, f := range c.Module.Funcs {
+		rs = append(rs, f.Regions...)
+	}
+	return rs
+}

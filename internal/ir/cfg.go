@@ -1,0 +1,160 @@
+package ir
+
+// Dominance computation (Cooper/Harvey/Kennedy iterative algorithm) and
+// CFG-editing helpers.
+
+// DomTree holds immediate dominators and dominance frontiers.
+type DomTree struct {
+	Idom     map[*Block]*Block   // immediate dominator (nil for entry)
+	Children map[*Block][]*Block // dominator-tree children
+	Frontier map[*Block][]*Block // dominance frontier
+	rpoIndex map[*Block]int
+}
+
+// BuildDomTree computes the dominator tree and dominance frontiers for the
+// blocks reachable from f's entry.
+func BuildDomTree(f *Func) *DomTree {
+	rpo := f.ReversePostorder()
+	idx := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		idx[b] = i
+	}
+	idom := make(map[*Block]*Block, len(rpo))
+	entry := f.Entry()
+	idom[entry] = entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for idx[a] > idx[b] {
+				a = idom[a]
+			}
+			for idx[b] > idx[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = nil
+
+	t := &DomTree{
+		Idom:     idom,
+		Children: map[*Block][]*Block{},
+		Frontier: map[*Block][]*Block{},
+		rpoIndex: idx,
+	}
+	for _, b := range rpo {
+		if d := idom[b]; d != nil {
+			t.Children[d] = append(t.Children[d], b)
+		}
+	}
+	// Dominance frontiers.
+	for _, b := range rpo {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if _, ok := idx[p]; !ok {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != idom[b] {
+				t.addFrontier(runner, b)
+				runner = idom[runner]
+			}
+		}
+	}
+	return t
+}
+
+func (t *DomTree) addFrontier(b, f *Block) {
+	for _, x := range t.Frontier[b] {
+		if x == f {
+			return
+		}
+	}
+	t.Frontier[b] = append(t.Frontier[b], f)
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.Idom[b]
+	}
+	return false
+}
+
+// SplitCriticalEdges inserts an empty block on every edge whose source has
+// multiple successors and whose destination has multiple predecessors.
+// Inserted blocks inherit the region/template/loop marks of the edge source
+// so that splitter invariants (template vs. set-up membership) survive.
+// Back edges of unrolled loops are preserved: the new block becomes the
+// latch if the split edge was latch->head.
+func (f *Func) SplitCriticalEdges() {
+	blocks := append([]*Block(nil), f.Blocks...)
+	for _, b := range blocks {
+		term := b.Term()
+		if term == nil || len(term.Targets) < 2 {
+			continue
+		}
+		// Dynamic-region boundary edges are virtual (the runtime transfers
+		// control); they must not be split.
+		if term.Op == OpDynEnter || term.Op == OpDynStitch {
+			continue
+		}
+		for ti, s := range term.Targets {
+			if len(s.Preds) < 2 {
+				continue
+			}
+			nb := f.NewBlock()
+			nb.Region = b.Region
+			nb.Template = b.Template
+			nb.Setup = b.Setup
+			nb.Loops = append([]*Loop(nil), b.Loops...)
+			nb.Append(&Instr{Op: OpJump, Targets: []*Block{s}})
+			term.Targets[ti] = s
+			// Rewire: b -> nb -> s.
+			term.Targets[ti] = nb
+			nb.Preds = []*Block{b}
+			if i := s.predIndex(b); i >= 0 {
+				s.Preds[i] = nb
+			}
+			// Preserve unrolled-loop latch identity.
+			for _, r := range f.Regions {
+				for _, l := range r.Loops {
+					if l.Latch == b && l.Head == s {
+						l.Latch = nb
+						nb.Loops = append([]*Loop(nil), b.Loops...)
+					}
+				}
+			}
+		}
+	}
+}

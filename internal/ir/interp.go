@@ -1,0 +1,360 @@
+package ir
+
+// A reference interpreter for the IR, used for differential testing of the
+// backend pipeline: any IR transformation must preserve the behaviour of a
+// function under this interpreter. It executes both SSA form (φs select by
+// incoming edge) and post-SSA multiple-assignment form.
+
+import (
+	"fmt"
+	"math"
+
+	"dyncc/internal/types"
+)
+
+// InterpEnv provides the module context for IR interpretation.
+type InterpEnv struct {
+	Mod *Module
+	Mem []int64 // word memory; globals at their addresses
+	hp  int64
+
+	// Calls counts function calls (recursion guard).
+	Calls int
+	Limit int
+
+	// AllocFn, when set, replaces the built-in bump allocator (used to
+	// allocate from a live VM's heap in merged set-up mode).
+	AllocFn func(int64) (int64, error)
+
+	// FrameBase, when UseFrameBase is set, is the address StackAddr slots
+	// resolve against (a live VM frame) instead of a fresh allocation.
+	FrameBase    int64
+	UseFrameBase bool
+
+	// Steps counts executed instructions (cost accounting).
+	Steps int
+}
+
+// NewInterpEnv builds an interpreter environment with the module's globals
+// initialized.
+func NewInterpEnv(mod *Module, memWords int) *InterpEnv {
+	if memWords <= 0 {
+		memWords = 1 << 20
+	}
+	env := &InterpEnv{Mod: mod, Mem: make([]int64, memWords), Limit: 4 << 20}
+	for _, g := range mod.Globals {
+		copy(env.Mem[g.Addr:], g.Init)
+	}
+	env.hp = int64(mod.GlobalWords)
+	return env
+}
+
+// Alloc reserves n zeroed heap words.
+func (env *InterpEnv) Alloc(n int64) int64 {
+	if env.AllocFn != nil {
+		a, err := env.AllocFn(n)
+		if err != nil {
+			return -1
+		}
+		return a
+	}
+	a := env.hp
+	env.hp += n
+	return a
+}
+
+// CallFunc interprets fn with the given arguments.
+func (env *InterpEnv) CallFunc(name string, args ...int64) (int64, error) {
+	f := env.Mod.FuncIndex[name]
+	if f == nil {
+		return 0, fmt.Errorf("interp: no function %s", name)
+	}
+	return env.call(f, args)
+}
+
+func (env *InterpEnv) call(f *Func, args []int64) (int64, error) {
+	env.Calls++
+	if env.Calls > env.Limit {
+		return 0, fmt.Errorf("interp: call limit exceeded")
+	}
+	// Stack frame for StackAddr: allocate from the heap end (no reuse;
+	// simple and adequate for testing).
+	var frame int64
+	if env.UseFrameBase {
+		frame = env.FrameBase
+	} else {
+		frame = env.Alloc(int64(f.StackSize) + 1)
+	}
+	vals := map[Value]int64{}
+	for i, p := range f.Params {
+		if i < len(args) {
+			vals[p] = args[i]
+		}
+	}
+	return env.exec(f, f.Entry(), vals, frame)
+}
+
+// RunSetup interprets a region's set-up subgraph host-side (the paper's
+// section 7 "merge set-up code with stitching"): execution starts at the
+// set-up entry with the given bindings for values defined outside the
+// subgraph, and finishes at OpDynStitch, whose operand — the run-time
+// constants table base — is returned.
+func (env *InterpEnv) RunSetup(f *Func, entry *Block, init map[Value]int64) (int64, error) {
+	frame := env.FrameBase
+	return env.exec(f, entry, init, frame)
+}
+
+func (env *InterpEnv) exec(f *Func, entry *Block, vals map[Value]int64, frame int64) (int64, error) {
+	get := func(v Value) int64 { return vals[v] }
+
+	b := entry
+	var prev *Block
+	steps := 0
+	for {
+		steps++
+		env.Steps++
+		if steps > 50_000_000 {
+			return 0, fmt.Errorf("interp: step limit in %s", f.Name)
+		}
+		// φs evaluate in parallel at block entry.
+		phis := b.Phis()
+		if len(phis) > 0 {
+			pi := -1
+			for i, p := range b.Preds {
+				if p == prev {
+					pi = i
+					break
+				}
+			}
+			if pi < 0 {
+				return 0, fmt.Errorf("interp: %s b%d entered from non-pred b%d", f.Name, b.ID, prev.ID)
+			}
+			tmp := make([]int64, len(phis))
+			for i, phi := range phis {
+				tmp[i] = get(phi.Args[pi])
+			}
+			for i, phi := range phis {
+				vals[phi.Dst] = tmp[i]
+			}
+		}
+		for _, in := range b.Instrs[len(phis):] {
+			switch in.Op {
+			case OpPhi:
+				return 0, fmt.Errorf("interp: φ not at block head")
+			case OpConst:
+				vals[in.Dst] = in.Const
+			case OpFConst:
+				vals[in.Dst] = int64(math.Float64bits(in.F))
+			case OpGlobalAddr:
+				g := env.Mod.GlobalIndex[in.Sym]
+				if g == nil {
+					return 0, fmt.Errorf("interp: unknown global %s", in.Sym)
+				}
+				vals[in.Dst] = int64(g.Addr)
+			case OpStackAddr:
+				vals[in.Dst] = frame + int64(in.Slot)
+			case OpCopy:
+				vals[in.Dst] = get(in.Args[0])
+			case OpLoad:
+				a := get(in.Args[0]) + in.Const
+				if a < 0 || a >= int64(len(env.Mem)) {
+					return 0, fmt.Errorf("interp: load OOB %d", a)
+				}
+				vals[in.Dst] = env.Mem[a]
+			case OpStore:
+				a := get(in.Args[0]) + in.Const
+				if a < 0 || a >= int64(len(env.Mem)) {
+					return 0, fmt.Errorf("interp: store OOB %d", a)
+				}
+				env.Mem[a] = get(in.Args[1])
+			case OpCall:
+				r, err := env.interpCall(in, get)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst != 0 {
+					vals[in.Dst] = r
+				}
+			case OpBr:
+				if get(in.Args[0]) != 0 {
+					prev, b = b, in.Targets[0]
+				} else {
+					prev, b = b, in.Targets[1]
+				}
+				goto next
+			case OpJump:
+				prev, b = b, in.Targets[0]
+				goto next
+			case OpSwitch:
+				v := get(in.Args[0])
+				t := in.Targets[len(in.Cases)]
+				for i, c := range in.Cases {
+					if c == v {
+						t = in.Targets[i]
+						break
+					}
+				}
+				prev, b = b, t
+				goto next
+			case OpRet:
+				if len(in.Args) > 0 {
+					return get(in.Args[0]), nil
+				}
+				return 0, nil
+			case OpDynEnter:
+				return 0, fmt.Errorf("interp: cannot interpret a region entry")
+			case OpDynStitch:
+				// Merged set-up mode terminates here with the table base.
+				return get(in.Args[0]), nil
+			default:
+				r, err := evalOp(in.Op, in.Args, get)
+				if err != nil {
+					return 0, fmt.Errorf("interp: %s b%d: %w", f.Name, b.ID, err)
+				}
+				vals[in.Dst] = r
+			}
+		}
+		return 0, fmt.Errorf("interp: %s b%d fell off block end", f.Name, b.ID)
+	next:
+	}
+}
+
+func (env *InterpEnv) interpCall(in *Instr, get func(Value) int64) (int64, error) {
+	args := make([]int64, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = get(a)
+	}
+	if callee := env.Mod.FuncIndex[in.Sym]; callee != nil {
+		return env.call(callee, args)
+	}
+	f2 := func(v int64) float64 { return math.Float64frombits(uint64(v)) }
+	fb := func(x float64) int64 { return int64(math.Float64bits(x)) }
+	switch in.Sym {
+	case "alloc":
+		return env.Alloc(args[0]), nil
+	case "abs":
+		if args[0] < 0 {
+			return -args[0], nil
+		}
+		return args[0], nil
+	case "min":
+		if args[1] < args[0] {
+			return args[1], nil
+		}
+		return args[0], nil
+	case "max":
+		if args[1] > args[0] {
+			return args[1], nil
+		}
+		return args[0], nil
+	case "cos":
+		return fb(math.Cos(f2(args[0]))), nil
+	case "sin":
+		return fb(math.Sin(f2(args[0]))), nil
+	case "sqrt":
+		return fb(math.Sqrt(f2(args[0]))), nil
+	case "print_int", "print_float", "print_str":
+		return 0, nil
+	}
+	return 0, fmt.Errorf("interp: unknown callee %s", in.Sym)
+}
+
+// evalOp computes a pure operator.
+func evalOp(op Op, argv []Value, get func(Value) int64) (int64, error) {
+	var a, b int64
+	if len(argv) > 0 {
+		a = get(argv[0])
+	}
+	if len(argv) > 1 {
+		b = get(argv[1])
+	}
+	fa, fb := math.Float64frombits(uint64(a)), math.Float64frombits(uint64(b))
+	fbits := func(x float64) int64 { return int64(math.Float64bits(x)) }
+	bi := func(c bool) int64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpAdd:
+		return a + b, nil
+	case OpSub:
+		return a - b, nil
+	case OpMul:
+		return a * b, nil
+	case OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("divide by zero")
+		}
+		return a / b, nil
+	case OpUDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("divide by zero")
+		}
+		return int64(uint64(a) / uint64(b)), nil
+	case OpMod:
+		if b == 0 {
+			return 0, fmt.Errorf("mod by zero")
+		}
+		return a % b, nil
+	case OpUMod:
+		if b == 0 {
+			return 0, fmt.Errorf("mod by zero")
+		}
+		return int64(uint64(a) % uint64(b)), nil
+	case OpAnd:
+		return a & b, nil
+	case OpOr:
+		return a | b, nil
+	case OpXor:
+		return a ^ b, nil
+	case OpShl:
+		return a << uint64(b&63), nil
+	case OpAShr:
+		return a >> uint64(b&63), nil
+	case OpLShr:
+		return int64(uint64(a) >> uint64(b&63)), nil
+	case OpEq:
+		return bi(a == b), nil
+	case OpNe:
+		return bi(a != b), nil
+	case OpLt:
+		return bi(a < b), nil
+	case OpLe:
+		return bi(a <= b), nil
+	case OpULt:
+		return bi(uint64(a) < uint64(b)), nil
+	case OpULe:
+		return bi(uint64(a) <= uint64(b)), nil
+	case OpNeg:
+		return -a, nil
+	case OpNot:
+		return ^a, nil
+	case OpFAdd:
+		return fbits(fa + fb), nil
+	case OpFSub:
+		return fbits(fa - fb), nil
+	case OpFMul:
+		return fbits(fa * fb), nil
+	case OpFDiv:
+		return fbits(fa / fb), nil
+	case OpFNeg:
+		return fbits(-fa), nil
+	case OpFEq:
+		return bi(fa == fb), nil
+	case OpFNe:
+		return bi(fa != fb), nil
+	case OpFLt:
+		return bi(fa < fb), nil
+	case OpFLe:
+		return bi(fa <= fb), nil
+	case OpIntToFloat:
+		return fbits(float64(a)), nil
+	case OpFloatToInt:
+		return int64(fa), nil
+	}
+	return 0, fmt.Errorf("unhandled op %s", op)
+}
+
+var _ = types.IntType // keep import symmetry with sibling files

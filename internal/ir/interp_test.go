@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"math"
+	"testing"
+
+	"dyncc/internal/types"
+)
+
+// buildModule wraps a function in a module with interp environment.
+func interpOne(t *testing.T, f *Func, args ...int64) int64 {
+	t.Helper()
+	mod := NewModule()
+	mod.AddFunc(f)
+	env := NewInterpEnv(mod, 0)
+	v, err := env.CallFunc(f.Name, args...)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return v
+}
+
+func TestInterpArithAndMemory(t *testing.T) {
+	f := NewFunc("m", types.FuncType(types.IntType, []*types.Type{types.IntType}))
+	p := f.NewValue("p", types.IntType)
+	f.Params = append(f.Params, p)
+	b := f.NewBlock()
+	v := func() Value { return f.NewValue("", types.IntType) }
+	sz := v()
+	b.Append(&Instr{Op: OpConst, Const: 4, Dst: sz, Typ: types.IntType})
+	addr := v()
+	b.Append(&Instr{Op: OpCall, Sym: "alloc", Args: []Value{sz}, Dst: addr,
+		Typ: types.PointerTo(types.IntType)})
+	b.Append(&Instr{Op: OpStore, Args: []Value{addr, p}, Const: 2, Typ: types.IntType})
+	ld := v()
+	b.Append(&Instr{Op: OpLoad, Args: []Value{addr}, Const: 2, Dst: ld, Typ: types.IntType})
+	dbl := v()
+	b.Append(&Instr{Op: OpAdd, Args: []Value{ld, ld}, Dst: dbl, Typ: types.IntType})
+	b.Append(&Instr{Op: OpRet, Args: []Value{dbl}})
+	f.ComputePreds()
+	if got := interpOne(t, f, 21); got != 42 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestInterpFloat(t *testing.T) {
+	f := NewFunc("fl", types.FuncType(types.FloatType, []*types.Type{types.FloatType}))
+	p := f.NewValue("p", types.FloatType)
+	f.Params = append(f.Params, p)
+	b := f.NewBlock()
+	c := f.NewValue("", types.FloatType)
+	b.Append(&Instr{Op: OpFConst, F: 2.5, Dst: c, Typ: types.FloatType})
+	r := f.NewValue("", types.FloatType)
+	b.Append(&Instr{Op: OpFMul, Args: []Value{p, c}, Dst: r, Typ: types.FloatType})
+	b.Append(&Instr{Op: OpRet, Args: []Value{r}})
+	f.ComputePreds()
+	got := interpOne(t, f, int64(math.Float64bits(4.0)))
+	if math.Float64frombits(uint64(got)) != 10.0 {
+		t.Errorf("got %g", math.Float64frombits(uint64(got)))
+	}
+}
+
+func TestInterpTrapsAndLimits(t *testing.T) {
+	// Divide by zero.
+	f := NewFunc("dz", types.FuncType(types.IntType, []*types.Type{types.IntType}))
+	p := f.NewValue("p", types.IntType)
+	f.Params = append(f.Params, p)
+	b := f.NewBlock()
+	z := f.NewValue("", types.IntType)
+	b.Append(&Instr{Op: OpConst, Const: 0, Dst: z, Typ: types.IntType})
+	q := f.NewValue("", types.IntType)
+	b.Append(&Instr{Op: OpDiv, Args: []Value{p, z}, Dst: q, Typ: types.IntType})
+	b.Append(&Instr{Op: OpRet, Args: []Value{q}})
+	f.ComputePreds()
+	mod := NewModule()
+	mod.AddFunc(f)
+	if _, err := NewInterpEnv(mod, 0).CallFunc("dz", 5); err == nil {
+		t.Error("expected divide-by-zero error")
+	}
+
+	// Infinite loop hits the step limit.
+	g := NewFunc("spin", types.FuncType(types.IntType, nil))
+	b0 := g.NewBlock()
+	b0.Append(&Instr{Op: OpJump, Targets: []*Block{b0}})
+	b0.Preds = []*Block{b0}
+	mod2 := NewModule()
+	mod2.AddFunc(g)
+	if _, err := NewInterpEnv(mod2, 0).CallFunc("spin"); err == nil {
+		t.Error("expected step-limit error")
+	}
+}
+
+func TestInterpPhiSelection(t *testing.T) {
+	// Merge selects by incoming edge.
+	f := NewFunc("sel", types.FuncType(types.IntType, []*types.Type{types.IntType}))
+	p := f.NewValue("p", types.IntType)
+	f.Params = append(f.Params, p)
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	b0.Append(&Instr{Op: OpBr, Args: []Value{p}, Targets: []*Block{b1, b2}})
+	x1 := f.NewValue("", types.IntType)
+	b1.Append(&Instr{Op: OpConst, Const: 100, Dst: x1, Typ: types.IntType})
+	b1.Append(&Instr{Op: OpJump, Targets: []*Block{b3}})
+	x2 := f.NewValue("", types.IntType)
+	b2.Append(&Instr{Op: OpConst, Const: 200, Dst: x2, Typ: types.IntType})
+	b2.Append(&Instr{Op: OpJump, Targets: []*Block{b3}})
+	phi := f.NewValue("", types.IntType)
+	b3.Append(&Instr{Op: OpPhi, Args: []Value{x1, x2}, Dst: phi, Typ: types.IntType})
+	b3.Append(&Instr{Op: OpRet, Args: []Value{phi}})
+	f.ComputePreds()
+	f.SSA = true
+	if got := interpOne(t, f, 1); got != 100 {
+		t.Errorf("then: %d", got)
+	}
+	if got := interpOne(t, f, 0); got != 200 {
+		t.Errorf("else: %d", got)
+	}
+}

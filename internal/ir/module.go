@@ -1,0 +1,67 @@
+package ir
+
+import "dyncc/internal/types"
+
+// Global is a module-level variable with its word address in the VM's
+// global data segment.
+type Global struct {
+	Name string
+	Typ  *types.Type
+	Addr int     // word address in the globals segment
+	Init []int64 // initial words (len <= Typ.Size()); rest zero
+}
+
+// Module is a lowered translation unit.
+type Module struct {
+	Funcs       []*Func
+	FuncIndex   map[string]*Func
+	Globals     []*Global
+	GlobalIndex map[string]*Global
+	GlobalWords int // total size of the globals segment
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module {
+	return &Module{
+		FuncIndex:   map[string]*Func{},
+		GlobalIndex: map[string]*Global{},
+	}
+}
+
+// AddGlobal appends a global, assigning its address.
+func (m *Module) AddGlobal(name string, typ *types.Type) *Global {
+	g := &Global{Name: name, Typ: typ, Addr: m.GlobalWords}
+	m.GlobalWords += typ.Size()
+	m.Globals = append(m.Globals, g)
+	m.GlobalIndex[name] = g
+	return g
+}
+
+// AddFunc appends a function.
+func (m *Module) AddFunc(f *Func) {
+	m.Funcs = append(m.Funcs, f)
+	m.FuncIndex[f.Name] = f
+}
+
+// Builtin describes a host-implemented intrinsic function.
+type Builtin struct {
+	Name   string
+	Params []*types.Type
+	Ret    *types.Type
+	Pure   bool // idempotent, side-effect-free, non-trapping (usable in
+	// run-time-constant derivation, paper section 3.1: "such as max or cos")
+}
+
+// Builtins is the table of host intrinsics available to MiniC programs.
+var Builtins = map[string]*Builtin{
+	"print_int":   {Name: "print_int", Params: []*types.Type{types.IntType}, Ret: types.VoidType},
+	"print_float": {Name: "print_float", Params: []*types.Type{types.FloatType}, Ret: types.VoidType},
+	"print_str":   {Name: "print_str", Params: []*types.Type{types.PointerTo(types.IntType)}, Ret: types.VoidType},
+	"alloc":       {Name: "alloc", Params: []*types.Type{types.IntType}, Ret: types.PointerTo(types.IntType)},
+	"abs":         {Name: "abs", Params: []*types.Type{types.IntType}, Ret: types.IntType, Pure: true},
+	"min":         {Name: "min", Params: []*types.Type{types.IntType, types.IntType}, Ret: types.IntType, Pure: true},
+	"max":         {Name: "max", Params: []*types.Type{types.IntType, types.IntType}, Ret: types.IntType, Pure: true},
+	"cos":         {Name: "cos", Params: []*types.Type{types.FloatType}, Ret: types.FloatType, Pure: true},
+	"sin":         {Name: "sin", Params: []*types.Type{types.FloatType}, Ret: types.FloatType, Pure: true},
+	"sqrt":        {Name: "sqrt", Params: []*types.Type{types.FloatType}, Ret: types.FloatType, Pure: true},
+}

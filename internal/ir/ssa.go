@@ -1,0 +1,239 @@
+package ir
+
+// SSA construction (Cytron et al.: φ insertion at iterated dominance
+// frontiers, then renaming along the dominator tree) and destruction
+// (two-stage copy insertion, swap- and lost-copy-safe).
+
+// BuildSSA converts f from multiply-assigned virtual registers into SSA
+// form (pruned: φs are only inserted where the variable is live). It also
+// resolves each region's annotated constant/key variables to the SSA values
+// reaching the region entry.
+func BuildSSA(f *Func) {
+	if f.SSA {
+		return
+	}
+	f.RemoveUnreachable()
+	dt := BuildDomTree(f)
+	liveIn := blockLiveIn(f)
+
+	// Collect definition sites per variable.
+	defSites := map[Value][]*Block{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != 0 {
+				defSites[in.Dst] = append(defSites[in.Dst], b)
+			}
+		}
+	}
+
+	// Insert φ nodes at iterated dominance frontiers (pruned by liveness:
+	// without pruning, every switch-arm temporary grows a dead φ web
+	// around enclosing loop heads).
+	// phiVar records which original variable each φ merges.
+	phiVar := map[*Instr]Value{}
+	for _, v := range SortedValues(boolKeys(defSites)) {
+		sites := defSites[v]
+		hasPhi := map[*Block]bool{}
+		work := append([]*Block(nil), sites...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, df := range dt.Frontier[b] {
+				if hasPhi[df] {
+					continue
+				}
+				hasPhi[df] = true
+				if !liveIn[df][v] {
+					// The variable is dead here; a φ would only feed
+					// further dead φs. Still propagate the def site so
+					// deeper frontiers are considered.
+					work = append(work, df)
+					continue
+				}
+				phi := &Instr{
+					Op:   OpPhi,
+					Dst:  v,
+					Args: make([]Value, len(df.Preds)),
+					Typ:  f.TypeOf(v),
+				}
+				for i := range phi.Args {
+					phi.Args[i] = v
+				}
+				df.InsertBefore(0, phi)
+				phiVar[phi] = v
+				work = append(work, df)
+			}
+		}
+	}
+
+	// Rename.
+	stacks := map[Value][]Value{}
+	top := func(v Value) Value {
+		s := stacks[v]
+		if len(s) == 0 {
+			// Use of a variable with no dominating definition (e.g. a
+			// parameter, or uninitialized along some path): parameters are
+			// pre-pushed below; otherwise keep the original id, which acts
+			// as an implicit entry definition of an undefined value.
+			return v
+		}
+		return s[len(s)-1]
+	}
+	for _, p := range f.Params {
+		stacks[p] = []Value{p}
+		f.vals[p].Def = nil
+	}
+
+	var rename func(b *Block)
+	rename = func(b *Block) {
+		var pushed []Value
+		for _, in := range b.Instrs {
+			if in.Op != OpPhi {
+				for i, a := range in.Args {
+					in.Args[i] = top(a)
+				}
+			}
+			if in.Dst != 0 {
+				orig := in.Dst
+				info := f.vals[orig]
+				nv := f.NewValue(info.Name, info.Typ)
+				in.Dst = nv
+				f.vals[nv].Def = in
+				stacks[orig] = append(stacks[orig], nv)
+				pushed = append(pushed, orig)
+				if in.Op == OpPhi {
+					phiVar[in] = orig
+				}
+			}
+		}
+		// Resolve region annotations at region entries: the SSA values of
+		// the annotated variables reaching this point.
+		for _, r := range f.Regions {
+			if r.Entry == b {
+				r.Consts = r.Consts[:0]
+				for _, cv := range r.ConstVars {
+					r.Consts = append(r.Consts, top(cv))
+				}
+				r.Keys = r.Keys[:0]
+				for _, kv := range r.KeyVars {
+					r.Keys = append(r.Keys, top(kv))
+				}
+			}
+		}
+		// Fill φ args of successors.
+		for _, s := range b.Succs() {
+			pi := s.predIndex(b)
+			if pi < 0 {
+				continue
+			}
+			for _, phi := range s.Phis() {
+				v := phiVar[phi]
+				if v == 0 {
+					v = phi.Args[pi] // already-renamed variable id
+				}
+				phi.Args[pi] = top(v)
+			}
+		}
+		for _, c := range dt.Children[b] {
+			rename(c)
+		}
+		for _, v := range pushed {
+			stacks[v] = stacks[v][:len(stacks[v])-1]
+		}
+	}
+	rename(f.Entry())
+	f.SSA = true
+}
+
+// blockLiveIn computes, pre-SSA, which variables are live at each block
+// entry (classic backward union dataflow over variables).
+func blockLiveIn(f *Func) map[*Block]map[Value]bool {
+	use := map[*Block]map[Value]bool{}
+	def := map[*Block]map[Value]bool{}
+	for _, b := range f.Blocks {
+		u, d := map[Value]bool{}, map[Value]bool{}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a != 0 && !d[a] {
+					u[a] = true
+				}
+			}
+			if in.Dst != 0 {
+				d[in.Dst] = true
+			}
+		}
+		use[b], def[b] = u, d
+	}
+	liveIn := map[*Block]map[Value]bool{}
+	for _, b := range f.Blocks {
+		liveIn[b] = map[Value]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			in := liveIn[b]
+			for _, s := range b.Succs() {
+				for v := range liveIn[s] {
+					if !def[b][v] && !in[v] {
+						in[v] = true
+						changed = true
+					}
+				}
+			}
+			for v := range use[b] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn
+}
+
+func boolKeys(m map[Value][]*Block) map[Value]bool {
+	r := make(map[Value]bool, len(m))
+	for k := range m {
+		r[k] = true
+	}
+	return r
+}
+
+// DestroySSA eliminates φ instructions by inserting copies. Critical edges
+// must already be split. The two-stage scheme (copy into a fresh temporary
+// in each predecessor, then copy to the φ destination at the block head)
+// is immune to the swap and lost-copy problems.
+func DestroySSA(f *Func) {
+	if !f.SSA {
+		return
+	}
+	for _, b := range f.Blocks {
+		phis := b.Phis()
+		if len(phis) == 0 {
+			continue
+		}
+		temps := make([]Value, len(phis))
+		for i, phi := range phis {
+			temps[i] = f.NewValue(f.vals[phi.Dst].Name+".t", phi.Typ)
+		}
+		for pi, p := range b.Preds {
+			insertAt := len(p.Instrs)
+			if p.Term() != nil {
+				insertAt--
+			}
+			for i, phi := range phis {
+				cp := &Instr{Op: OpCopy, Dst: temps[i], Args: []Value{phi.Args[pi]}, Typ: phi.Typ}
+				p.InsertBefore(insertAt, cp)
+				insertAt++
+			}
+		}
+		// Replace φs with copies from the temporaries.
+		for i, phi := range phis {
+			phi.Op = OpCopy
+			phi.Args = []Value{temps[i]}
+			_ = i
+		}
+	}
+	f.SSA = false
+}

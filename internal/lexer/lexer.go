@@ -1,0 +1,356 @@
+// Package lexer implements the MiniC scanner.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dyncc/internal/token"
+)
+
+// Lexer scans MiniC source text into tokens.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the scan errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			p := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(p, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: p}
+	}
+	c := l.advance()
+	switch {
+	case isIdentStart(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: k, Text: text, Pos: p}
+		}
+		return token.Token{Kind: token.IDENT, Text: text, Pos: p}
+	case isDigit(c):
+		return l.number(p, c)
+	case c == '\'':
+		return l.charLit(p)
+	case c == '"':
+		return l.stringLit(p)
+	}
+
+	two := func(next byte, k2, k1 token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: k2, Pos: p}
+		}
+		return token.Token{Kind: k1, Pos: p}
+	}
+
+	switch c {
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return token.Token{Kind: token.INC, Pos: p}
+		}
+		return two('=', token.ADDA, token.PLUS)
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			return token.Token{Kind: token.DEC, Pos: p}
+		case '>':
+			l.advance()
+			return token.Token{Kind: token.ARROW, Pos: p}
+		}
+		return two('=', token.SUBA, token.MINUS)
+	case '*':
+		return two('=', token.MULA, token.STAR)
+	case '/':
+		return two('=', token.DIVA, token.SLASH)
+	case '%':
+		return two('=', token.MODA, token.PERCENT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.ANDAND, Pos: p}
+		}
+		return two('=', token.ANDA, token.AMP)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.OROR, Pos: p}
+		}
+		return two('=', token.ORA, token.PIPE)
+	case '^':
+		return two('=', token.XORA, token.CARET)
+	case '~':
+		return token.Token{Kind: token.TILDE, Pos: p}
+	case '!':
+		return two('=', token.NE, token.BANG)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return two('=', token.SHLA, token.SHL)
+		}
+		return two('=', token.LE, token.LT)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return two('=', token.SHRA, token.SHR)
+		}
+		return two('=', token.GE, token.GT)
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: p}
+	case '?':
+		return token.Token{Kind: token.QUESTION, Pos: p}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: p}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: p}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: p}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: p}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: p}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: p}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: p}
+	case '[':
+		return token.Token{Kind: token.LBRACK, Pos: p}
+	case ']':
+		return token.Token{Kind: token.RBRACK, Pos: p}
+	}
+	l.errorf(p, "illegal character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Text: string(c), Pos: p}
+}
+
+func (l *Lexer) number(p token.Pos, first byte) token.Token {
+	start := l.off - 1
+	if first == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+		l.advance()
+		for l.off < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseUint(text[2:], 16, 64)
+		if err != nil {
+			l.errorf(p, "bad hex literal %q: %v", text, err)
+		}
+		l.suffix()
+		return token.Token{Kind: token.INT, Text: text, Pos: p, IntVal: int64(v)}
+	}
+	isFloat := false
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off = save
+		}
+	}
+	text := l.src[start:l.off]
+	l.suffix()
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			l.errorf(p, "bad float literal %q: %v", text, err)
+		}
+		return token.Token{Kind: token.FLOAT, Text: text, Pos: p, FloatVal: f}
+	}
+	v, err := strconv.ParseUint(text, 10, 64)
+	if err != nil {
+		l.errorf(p, "bad int literal %q: %v", text, err)
+	}
+	return token.Token{Kind: token.INT, Text: text, Pos: p, IntVal: int64(v)}
+}
+
+// suffix consumes and ignores C integer/float suffixes (u, U, l, L, f, F).
+func (l *Lexer) suffix() {
+	for l.off < len(l.src) && strings.IndexByte("uUlLfF", l.peek()) >= 0 {
+		l.advance()
+	}
+}
+
+func (l *Lexer) escape(p token.Pos) byte {
+	if l.off >= len(l.src) {
+		l.errorf(p, "unterminated escape")
+		return 0
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\', '\'', '"':
+		return c
+	}
+	l.errorf(p, "unknown escape \\%c", c)
+	return c
+}
+
+func (l *Lexer) charLit(p token.Pos) token.Token {
+	var v byte
+	if l.off >= len(l.src) {
+		l.errorf(p, "unterminated char literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: p}
+	}
+	c := l.advance()
+	if c == '\\' {
+		v = l.escape(p)
+	} else {
+		v = c
+	}
+	if l.peek() == '\'' {
+		l.advance()
+	} else {
+		l.errorf(p, "unterminated char literal")
+	}
+	return token.Token{Kind: token.CHAR, Text: string(v), Pos: p, IntVal: int64(v)}
+}
+
+func (l *Lexer) stringLit(p token.Pos) token.Token {
+	var sb strings.Builder
+	for l.off < len(l.src) {
+		c := l.advance()
+		if c == '"' {
+			return token.Token{Kind: token.STRING, Text: sb.String(), Pos: p, StrVal: sb.String()}
+		}
+		if c == '\\' {
+			sb.WriteByte(l.escape(p))
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		sb.WriteByte(c)
+	}
+	l.errorf(p, "unterminated string literal")
+	return token.Token{Kind: token.ILLEGAL, Pos: p}
+}
+
+// All scans the entire input and returns all tokens up to and including EOF.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

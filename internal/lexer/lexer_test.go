@@ -1,0 +1,151 @@
+package lexer
+
+import (
+	"testing"
+
+	"dyncc/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	lx := New(src)
+	var ks []token.Kind
+	for {
+		tok := lx.Next()
+		if tok.Kind == token.EOF {
+			break
+		}
+		ks = append(ks, tok.Kind)
+	}
+	if errs := lx.Errors(); len(errs) > 0 {
+		t.Fatalf("lex errors: %v", errs)
+	}
+	return ks
+}
+
+func TestOperators(t *testing.T) {
+	src := `+ - * / % & | ^ ~ ! << >> < > <= >= == != && || = += -= *= /= %= &= |= ^= <<= >>= ++ -- -> . ? : , ; ( ) { } [ ]`
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.AMP, token.PIPE, token.CARET, token.TILDE, token.BANG,
+		token.SHL, token.SHR, token.LT, token.GT, token.LE, token.GE,
+		token.EQ, token.NE, token.ANDAND, token.OROR,
+		token.ASSIGN, token.ADDA, token.SUBA, token.MULA, token.DIVA, token.MODA,
+		token.ANDA, token.ORA, token.XORA, token.SHLA, token.SHRA,
+		token.INC, token.DEC, token.ARROW, token.DOT, token.QUESTION, token.COLON,
+		token.COMMA, token.SEMI, token.LPAREN, token.RPAREN,
+		token.LBRACE, token.RBRACE, token.LBRACK, token.RBRACK,
+	}
+	got := kinds(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndAnnotations(t *testing.T) {
+	got := kinds(t, `int unsigned float void struct if else while for switch case
+		default break continue goto return dynamicRegion key unrolled dynamic`)
+	want := []token.Kind{
+		token.KwInt, token.KwUnsigned, token.KwFloat, token.KwVoid, token.KwStruct,
+		token.KwIf, token.KwElse, token.KwWhile, token.KwFor, token.KwSwitch,
+		token.KwCase, token.KwDefault, token.KwBreak, token.KwContinue,
+		token.KwGoto, token.KwReturn,
+		token.KwDynamicRegion, token.KwKey, token.KwUnrolled, token.KwDynamic,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	lx := New("0 42 0x1F 3.5 2e3 1e-2 7u 9L")
+	var vals []token.Token
+	for {
+		tok := lx.Next()
+		if tok.Kind == token.EOF {
+			break
+		}
+		vals = append(vals, tok)
+	}
+	if len(lx.Errors()) > 0 {
+		t.Fatalf("errors: %v", lx.Errors())
+	}
+	checkInt := func(i int, want int64) {
+		t.Helper()
+		if vals[i].Kind != token.INT || vals[i].IntVal != want {
+			t.Errorf("token %d: got %v, want INT %d", i, vals[i], want)
+		}
+	}
+	checkFloat := func(i int, want float64) {
+		t.Helper()
+		if vals[i].Kind != token.FLOAT || vals[i].FloatVal != want {
+			t.Errorf("token %d: got %v, want FLOAT %g", i, vals[i], want)
+		}
+	}
+	checkInt(0, 0)
+	checkInt(1, 42)
+	checkInt(2, 0x1F)
+	checkFloat(3, 3.5)
+	checkFloat(4, 2000)
+	checkFloat(5, 0.01)
+	checkInt(6, 7)
+	checkInt(7, 9)
+}
+
+func TestCommentsAndStrings(t *testing.T) {
+	lx := New(`a /* block
+	   comment */ b // line comment
+	c "hi\n" 'x' '\n'`)
+	var toks []token.Token
+	for {
+		tok := lx.Next()
+		if tok.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, tok)
+	}
+	if len(lx.Errors()) > 0 {
+		t.Fatalf("errors: %v", lx.Errors())
+	}
+	if len(toks) != 6 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[3].Kind != token.STRING || toks[3].StrVal != "hi\n" {
+		t.Errorf("string: %v", toks[3])
+	}
+	if toks[4].Kind != token.CHAR || toks[4].IntVal != 'x' {
+		t.Errorf("char: %v", toks[4])
+	}
+	if toks[5].IntVal != '\n' {
+		t.Errorf("escaped char: %v", toks[5])
+	}
+}
+
+func TestPositions(t *testing.T) {
+	lx := New("a\n  bb\n")
+	t1 := lx.Next()
+	t2 := lx.Next()
+	if t1.Pos.Line != 1 || t1.Pos.Col != 1 {
+		t.Errorf("a at %v", t1.Pos)
+	}
+	if t2.Pos.Line != 2 || t2.Pos.Col != 3 {
+		t.Errorf("bb at %v", t2.Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{"@", `"unterminated`, "'a", "/* open"} {
+		lx := New(src)
+		lx.All()
+		if len(lx.Errors()) == 0 {
+			t.Errorf("%q: expected a lex error", src)
+		}
+	}
+}

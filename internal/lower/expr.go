@@ -1,0 +1,604 @@
+package lower
+
+import (
+	"dyncc/internal/ast"
+	"dyncc/internal/ir"
+	"dyncc/internal/token"
+	"dyncc/internal/types"
+)
+
+// lval describes an assignable location: either a register-allocated local
+// or a memory word at addr+off.
+type lval struct {
+	lc      *local // register variable when non-nil
+	addr    ir.Value
+	off     int64
+	typ     *types.Type
+	dynamic bool // access annotated `dynamic` (result is never a run-time constant)
+}
+
+// expr lowers e as an rvalue, returning its value and type. Array-typed
+// expressions decay to pointers.
+func (fl *funcLowerer) expr(e ast.Expr) (ir.Value, *types.Type) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return fl.constInt(x.Val, types.IntType), types.IntType
+	case *ast.FloatLit:
+		return fl.emitV(&ir.Instr{Op: ir.OpFConst, F: x.Val, Typ: types.FloatType}), types.FloatType
+	case *ast.StringLit:
+		return fl.stringLit(x), types.PointerTo(types.IntType)
+	case *ast.Ident, *ast.Index, *ast.Field:
+		lv := fl.lvalue(e)
+		return fl.loadLV(e.Pos(), lv)
+	case *ast.Unary:
+		return fl.unary(x)
+	case *ast.PostIncDec:
+		return fl.postIncDec(x)
+	case *ast.Binary:
+		if x.Op == token.COMMA {
+			fl.expr(x.L)
+			return fl.expr(x.R)
+		}
+		if x.Op == token.ANDAND || x.Op == token.OROR {
+			return fl.shortCircuit(x)
+		}
+		return fl.binary(x)
+	case *ast.Assign:
+		return fl.assign(x)
+	case *ast.Cond:
+		return fl.ternary(x)
+	case *ast.Call:
+		return fl.call(x)
+	case *ast.Cast:
+		t := fl.resolveType(x.Type)
+		v, vt := fl.expr(x.X)
+		return fl.convert(x.P, v, vt, t), t
+	case *ast.SizeofType:
+		t := fl.resolveType(x.Type)
+		return fl.constInt(int64(t.Size()), types.IntType), types.IntType
+	}
+	fl.errorf(e.Pos(), "unhandled expression")
+	return fl.constInt(0, types.IntType), types.IntType
+}
+
+// loadLV reads an lvalue.
+func (fl *funcLowerer) loadLV(p token.Pos, lv lval) (ir.Value, *types.Type) {
+	if lv.typ.Kind == types.Array {
+		// Array decay: the value is the address.
+		pt := types.PointerTo(lv.typ.Elem)
+		return fl.lvAddr(lv), pt
+	}
+	if lv.lc != nil {
+		return lv.lc.val, lv.typ
+	}
+	if lv.typ.Kind == types.Struct {
+		fl.errorf(p, "struct value used as scalar")
+		return fl.constInt(0, types.IntType), types.IntType
+	}
+	ld := &ir.Instr{Op: ir.OpLoad, Args: []ir.Value{lv.addr}, Const: lv.off,
+		Typ: lv.typ, Dynamic: lv.dynamic}
+	return fl.emitV(ld), lv.typ
+}
+
+// lvAddr materializes the address of a memory lvalue.
+func (fl *funcLowerer) lvAddr(lv lval) ir.Value {
+	if lv.off == 0 {
+		return lv.addr
+	}
+	off := fl.constInt(lv.off, types.IntType)
+	return fl.emitV(&ir.Instr{Op: ir.OpAdd, Args: []ir.Value{lv.addr, off},
+		Typ: types.PointerTo(lv.typ)})
+}
+
+// storeLV writes v to an lvalue.
+func (fl *funcLowerer) storeLV(lv lval, v ir.Value) {
+	if lv.lc != nil {
+		fl.storeLocal(lv.lc, v)
+		return
+	}
+	fl.emit(&ir.Instr{Op: ir.OpStore, Args: []ir.Value{lv.addr, v}, Const: lv.off, Typ: lv.typ})
+}
+
+// lvalue lowers e as an assignable location.
+func (fl *funcLowerer) lvalue(e ast.Expr) lval {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if lc := fl.lookup(x.Name); lc != nil {
+			if lc.onStack {
+				addr := fl.emitV(&ir.Instr{Op: ir.OpStackAddr, Slot: lc.slot,
+					Typ: types.PointerTo(lc.typ)})
+				return lval{addr: addr, typ: lc.typ}
+			}
+			return lval{lc: lc, typ: lc.typ}
+		}
+		if g, ok := fl.mod.GlobalIndex[x.Name]; ok {
+			addr := fl.emitV(&ir.Instr{Op: ir.OpGlobalAddr, Sym: x.Name,
+				Typ: types.PointerTo(g.Typ)})
+			return lval{addr: addr, typ: g.Typ}
+		}
+		fl.errorf(x.P, "undefined variable %s", x.Name)
+		return lval{lc: &local{typ: types.IntType, val: fl.constInt(0, types.IntType)}, typ: types.IntType}
+	case *ast.Unary:
+		if x.Op == token.STAR {
+			v, vt := fl.expr(x.X)
+			if vt.Kind != types.Pointer {
+				fl.errorf(x.P, "cannot dereference non-pointer %s", vt)
+				return lval{addr: v, typ: types.IntType}
+			}
+			return lval{addr: v, typ: vt.Elem, dynamic: x.Dynamic}
+		}
+	case *ast.Index:
+		v, vt := fl.expr(x.X)
+		if vt.Kind != types.Pointer {
+			fl.errorf(x.P, "cannot index non-pointer %s", vt)
+			return lval{addr: v, typ: types.IntType}
+		}
+		elem := vt.Elem
+		iv, it := fl.expr(x.I)
+		if !it.IsInteger() {
+			fl.errorf(x.P, "array index must be integer")
+		}
+		size := int64(elem.Size())
+		scaled := iv
+		if size != 1 {
+			sz := fl.constInt(size, types.IntType)
+			scaled = fl.emitV(&ir.Instr{Op: ir.OpMul, Args: []ir.Value{iv, sz}, Typ: types.IntType})
+		}
+		addr := fl.emitV(&ir.Instr{Op: ir.OpAdd, Args: []ir.Value{v, scaled}, Typ: vt})
+		return lval{addr: addr, typ: elem, dynamic: x.Dynamic}
+	case *ast.Field:
+		var base lval
+		if x.Arrow {
+			v, vt := fl.expr(x.X)
+			if vt.Kind != types.Pointer || vt.Elem.Kind != types.Struct {
+				fl.errorf(x.P, "-> on non-struct-pointer %s", vt)
+				return lval{addr: v, typ: types.IntType}
+			}
+			base = lval{addr: v, typ: vt.Elem}
+		} else {
+			base = fl.lvalue(x.X)
+			if base.typ.Kind != types.Struct {
+				fl.errorf(x.P, ". on non-struct %s", base.typ)
+				return base
+			}
+			if base.lc != nil {
+				fl.errorf(x.P, "struct in register (internal)")
+				return base
+			}
+		}
+		f, ok := base.typ.FieldByName(x.Name)
+		if !ok {
+			fl.errorf(x.P, "struct %s has no field %s", base.typ.Name, x.Name)
+			return lval{addr: base.addr, off: base.off, typ: types.IntType}
+		}
+		return lval{addr: base.addr, off: base.off + int64(f.Offset), typ: f.Type,
+			dynamic: x.Dynamic || base.dynamic}
+	}
+	fl.errorf(e.Pos(), "expression is not assignable")
+	return lval{lc: &local{typ: types.IntType, val: fl.constInt(0, types.IntType)}, typ: types.IntType}
+}
+
+func (fl *funcLowerer) unary(x *ast.Unary) (ir.Value, *types.Type) {
+	switch x.Op {
+	case token.AMP:
+		lv := fl.lvalue(x.X)
+		if lv.lc != nil {
+			fl.errorf(x.P, "cannot take address of register variable %s", lv.lc.name)
+			return fl.constInt(0, types.IntType), types.PointerTo(lv.typ)
+		}
+		return fl.lvAddr(lv), types.PointerTo(lv.typ)
+	case token.STAR:
+		lv := fl.lvalue(x)
+		return fl.loadLV(x.P, lv)
+	case token.MINUS:
+		v, vt := fl.expr(x.X)
+		if vt.IsFloat() {
+			return fl.emitV(&ir.Instr{Op: ir.OpFNeg, Args: []ir.Value{v}, Typ: vt}), vt
+		}
+		return fl.emitV(&ir.Instr{Op: ir.OpNeg, Args: []ir.Value{v}, Typ: vt}), vt
+	case token.TILDE:
+		v, vt := fl.expr(x.X)
+		if !vt.IsInteger() {
+			fl.errorf(x.P, "~ requires integer")
+		}
+		return fl.emitV(&ir.Instr{Op: ir.OpNot, Args: []ir.Value{v}, Typ: vt}), vt
+	case token.BANG:
+		v, vt := fl.expr(x.X)
+		if vt.IsFloat() {
+			z := fl.emitV(&ir.Instr{Op: ir.OpFConst, F: 0, Typ: vt})
+			return fl.emitV(&ir.Instr{Op: ir.OpFEq, Args: []ir.Value{v, z}, Typ: types.IntType}), types.IntType
+		}
+		z := fl.constInt(0, vt)
+		return fl.emitV(&ir.Instr{Op: ir.OpEq, Args: []ir.Value{v, z}, Typ: types.IntType}), types.IntType
+	}
+	fl.errorf(x.P, "unhandled unary operator %s", x.Op)
+	return fl.constInt(0, types.IntType), types.IntType
+}
+
+func (fl *funcLowerer) postIncDec(x *ast.PostIncDec) (ir.Value, *types.Type) {
+	lv := fl.lvalue(x.X)
+	old, t := fl.loadLV(x.P, lv)
+	step := int64(1)
+	if t.Kind == types.Pointer {
+		step = int64(t.Elem.Size())
+	}
+	d := fl.constInt(step, types.IntType)
+	op := ir.OpAdd
+	if x.Op == token.DEC {
+		op = ir.OpSub
+	}
+	if t.IsFloat() {
+		fd := fl.emitV(&ir.Instr{Op: ir.OpFConst, F: 1, Typ: t})
+		fop := ir.OpFAdd
+		if x.Op == token.DEC {
+			fop = ir.OpFSub
+		}
+		nv := fl.emitV(&ir.Instr{Op: fop, Args: []ir.Value{old, fd}, Typ: t})
+		fl.storeLV(lv, nv)
+		return old, t
+	}
+	nv := fl.emitV(&ir.Instr{Op: op, Args: []ir.Value{old, d}, Typ: t})
+	fl.storeLV(lv, nv)
+	return old, t
+}
+
+// binOpFor selects the IR op for a binary operator on operands of type t.
+func (fl *funcLowerer) binOpFor(p token.Pos, op token.Kind, t *types.Type) ir.Op {
+	fp := t.IsFloat()
+	uns := t.Kind == types.Unsigned || t.Kind == types.Pointer
+	switch op {
+	case token.PLUS:
+		if fp {
+			return ir.OpFAdd
+		}
+		return ir.OpAdd
+	case token.MINUS:
+		if fp {
+			return ir.OpFSub
+		}
+		return ir.OpSub
+	case token.STAR:
+		if fp {
+			return ir.OpFMul
+		}
+		return ir.OpMul
+	case token.SLASH:
+		if fp {
+			return ir.OpFDiv
+		}
+		if uns {
+			return ir.OpUDiv
+		}
+		return ir.OpDiv
+	case token.PERCENT:
+		if fp {
+			fl.errorf(p, "%% requires integer operands")
+			return ir.OpUMod
+		}
+		if uns {
+			return ir.OpUMod
+		}
+		return ir.OpMod
+	case token.AMP:
+		return ir.OpAnd
+	case token.PIPE:
+		return ir.OpOr
+	case token.CARET:
+		return ir.OpXor
+	case token.SHL:
+		return ir.OpShl
+	case token.SHR:
+		if uns {
+			return ir.OpLShr
+		}
+		return ir.OpAShr
+	case token.EQ:
+		if fp {
+			return ir.OpFEq
+		}
+		return ir.OpEq
+	case token.NE:
+		if fp {
+			return ir.OpFNe
+		}
+		return ir.OpNe
+	case token.LT:
+		if fp {
+			return ir.OpFLt
+		}
+		if uns {
+			return ir.OpULt
+		}
+		return ir.OpLt
+	case token.LE:
+		if fp {
+			return ir.OpFLe
+		}
+		if uns {
+			return ir.OpULe
+		}
+		return ir.OpLe
+	case token.GT, token.GE:
+		// Lowered by swapping operands at the call site.
+		panic("lower: GT/GE must be canonicalized")
+	}
+	fl.errorf(p, "unhandled binary operator %s", op)
+	return ir.OpAdd
+}
+
+// unifyTypes returns the common type of two operand types without emitting
+// any conversion code.
+func unifyTypes(lt, rt *types.Type) *types.Type {
+	switch {
+	case lt.IsFloat() || rt.IsFloat():
+		return types.FloatType
+	case lt.Kind == types.Pointer:
+		return lt
+	case rt.Kind == types.Pointer:
+		return rt
+	case lt.Kind == types.Unsigned || rt.Kind == types.Unsigned:
+		return types.UnsignedType
+	default:
+		return types.IntType
+	}
+}
+
+// usualConversions applies C-style usual arithmetic conversions.
+func (fl *funcLowerer) usualConversions(p token.Pos, l ir.Value, lt *types.Type, r ir.Value, rt *types.Type) (ir.Value, ir.Value, *types.Type) {
+	switch {
+	case lt.IsFloat() || rt.IsFloat():
+		return fl.convert(p, l, lt, types.FloatType), fl.convert(p, r, rt, types.FloatType), types.FloatType
+	case lt.Kind == types.Pointer:
+		return l, r, lt
+	case rt.Kind == types.Pointer:
+		return l, r, rt
+	case lt.Kind == types.Unsigned || rt.Kind == types.Unsigned:
+		return l, r, types.UnsignedType
+	default:
+		return l, r, types.IntType
+	}
+}
+
+func (fl *funcLowerer) binary(x *ast.Binary) (ir.Value, *types.Type) {
+	op := x.Op
+	L, R := x.L, x.R
+	// Canonicalize > and >= by swapping.
+	if op == token.GT || op == token.GE {
+		L, R = R, L
+		if op == token.GT {
+			op = token.LT
+		} else {
+			op = token.LE
+		}
+	}
+	l, lt := fl.expr(L)
+	r, rt := fl.expr(R)
+
+	// Pointer arithmetic: scale the integer operand by the element size.
+	if (op == token.PLUS || op == token.MINUS) && (lt.Kind == types.Pointer) != (rt.Kind == types.Pointer) {
+		if rt.Kind == types.Pointer {
+			l, r = r, l
+			lt, rt = rt, lt
+			if op == token.MINUS {
+				fl.errorf(x.P, "cannot subtract pointer from integer")
+			}
+		}
+		size := int64(lt.Elem.Size())
+		if size != 1 {
+			sz := fl.constInt(size, types.IntType)
+			r = fl.emitV(&ir.Instr{Op: ir.OpMul, Args: []ir.Value{r, sz}, Typ: types.IntType})
+		}
+		iop := ir.OpAdd
+		if op == token.MINUS {
+			iop = ir.OpSub
+		}
+		return fl.emitV(&ir.Instr{Op: iop, Args: []ir.Value{l, r}, Typ: lt}), lt
+	}
+	// Pointer difference.
+	if op == token.MINUS && lt.Kind == types.Pointer && rt.Kind == types.Pointer {
+		d := fl.emitV(&ir.Instr{Op: ir.OpSub, Args: []ir.Value{l, r}, Typ: types.IntType})
+		size := int64(lt.Elem.Size())
+		if size != 1 {
+			sz := fl.constInt(size, types.IntType)
+			d = fl.emitV(&ir.Instr{Op: ir.OpDiv, Args: []ir.Value{d, sz}, Typ: types.IntType})
+		}
+		return d, types.IntType
+	}
+
+	l, r, ot := fl.usualConversions(x.P, l, lt, r, rt)
+	iop := fl.binOpFor(x.P, op, ot)
+	resT := ot
+	switch op {
+	case token.EQ, token.NE, token.LT, token.LE:
+		resT = types.IntType
+	}
+	return fl.emitV(&ir.Instr{Op: iop, Args: []ir.Value{l, r}, Typ: resT}), resT
+}
+
+func (fl *funcLowerer) shortCircuit(x *ast.Binary) (ir.Value, *types.Type) {
+	res := fl.f.NewValue("", types.IntType)
+	tB := fl.newBlock()
+	fB := fl.newBlock()
+	merge := fl.newBlock()
+	fl.cond(x, tB, fB)
+	fl.cur = tB
+	fl.emit(&ir.Instr{Op: ir.OpConst, Const: 1, Dst: res, Typ: types.IntType})
+	fl.emit(&ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{merge}})
+	fl.cur = fB
+	fl.emit(&ir.Instr{Op: ir.OpConst, Const: 0, Dst: res, Typ: types.IntType})
+	fl.emit(&ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{merge}})
+	fl.cur = merge
+	return res, types.IntType
+}
+
+// cond lowers a boolean expression as control flow to t or f.
+func (fl *funcLowerer) cond(e ast.Expr, t, f *ir.Block) {
+	switch x := e.(type) {
+	case *ast.Binary:
+		switch x.Op {
+		case token.ANDAND:
+			mid := fl.newBlock()
+			fl.cond(x.L, mid, f)
+			fl.cur = mid
+			fl.cond(x.R, t, f)
+			return
+		case token.OROR:
+			mid := fl.newBlock()
+			fl.cond(x.L, t, mid)
+			fl.cur = mid
+			fl.cond(x.R, t, f)
+			return
+		}
+	case *ast.Unary:
+		if x.Op == token.BANG {
+			fl.cond(x.X, f, t)
+			return
+		}
+	}
+	v, vt := fl.expr(e)
+	if vt.IsFloat() {
+		z := fl.emitV(&ir.Instr{Op: ir.OpFConst, F: 0, Typ: vt})
+		v = fl.emitV(&ir.Instr{Op: ir.OpFNe, Args: []ir.Value{v, z}, Typ: types.IntType})
+	}
+	fl.emit(&ir.Instr{Op: ir.OpBr, Args: []ir.Value{v}, Targets: []*ir.Block{t, f}})
+}
+
+func (fl *funcLowerer) ternary(x *ast.Cond) (ir.Value, *types.Type) {
+	tB := fl.newBlock()
+	fB := fl.newBlock()
+	merge := fl.newBlock()
+	fl.cond(x.C, tB, fB)
+
+	fl.cur = tB
+	tv, tt := fl.expr(x.T)
+	tEnd := fl.cur
+
+	fl.cur = fB
+	fv, ft := fl.expr(x.F)
+
+	ot := unifyTypes(tt, ft)
+	res := fl.f.NewValue("", ot)
+
+	fv = fl.convert(x.P, fv, ft, ot)
+	fl.emit(&ir.Instr{Op: ir.OpCopy, Dst: res, Args: []ir.Value{fv}, Typ: ot})
+	fl.emit(&ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{merge}})
+
+	fl.cur = tEnd
+	tv = fl.convert(x.P, tv, tt, ot)
+	fl.emit(&ir.Instr{Op: ir.OpCopy, Dst: res, Args: []ir.Value{tv}, Typ: ot})
+	fl.emit(&ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{merge}})
+
+	fl.cur = merge
+	return res, ot
+}
+
+func (fl *funcLowerer) assign(x *ast.Assign) (ir.Value, *types.Type) {
+	lv := fl.lvalue(x.L)
+	if x.Op == token.ASSIGN {
+		v, vt := fl.expr(x.R)
+		v = fl.convert(x.P, v, vt, lv.typ)
+		fl.storeLV(lv, v)
+		return v, lv.typ
+	}
+	// Compound assignment: load, op, store. The lvalue is evaluated once.
+	old, t := fl.loadLV(x.P, lv)
+	r, rt := fl.expr(x.R)
+	op := token.BinOpFor(x.Op)
+	// Pointer += int.
+	if t.Kind == types.Pointer && (op == token.PLUS || op == token.MINUS) {
+		size := int64(t.Elem.Size())
+		if size != 1 {
+			sz := fl.constInt(size, types.IntType)
+			r = fl.emitV(&ir.Instr{Op: ir.OpMul, Args: []ir.Value{r, sz}, Typ: types.IntType})
+		}
+		iop := ir.OpAdd
+		if op == token.MINUS {
+			iop = ir.OpSub
+		}
+		nv := fl.emitV(&ir.Instr{Op: iop, Args: []ir.Value{old, r}, Typ: t})
+		fl.storeLV(lv, nv)
+		return nv, t
+	}
+	l2, r2, ot := fl.usualConversions(x.P, old, t, r, rt)
+	iop := fl.binOpFor(x.P, op, ot)
+	nv := fl.emitV(&ir.Instr{Op: iop, Args: []ir.Value{l2, r2}, Typ: ot})
+	nv = fl.convert(x.P, nv, ot, lv.typ)
+	fl.storeLV(lv, nv)
+	return nv, lv.typ
+}
+
+func (fl *funcLowerer) call(x *ast.Call) (ir.Value, *types.Type) {
+	var params []*types.Type
+	var ret *types.Type
+	if b, ok := ir.Builtins[x.Fun]; ok {
+		params, ret = b.Params, b.Ret
+	} else if ft, ok := fl.funcs[x.Fun]; ok {
+		params, ret = ft.Params, ft.Ret
+	} else {
+		fl.errorf(x.P, "undefined function %s", x.Fun)
+		return fl.constInt(0, types.IntType), types.IntType
+	}
+	if len(x.Args) != len(params) {
+		fl.errorf(x.P, "%s expects %d arguments, got %d", x.Fun, len(params), len(x.Args))
+	}
+	var args []ir.Value
+	for i, a := range x.Args {
+		v, vt := fl.expr(a)
+		if i < len(params) {
+			v = fl.convert(a.Pos(), v, vt, params[i])
+		}
+		args = append(args, v)
+	}
+	in := &ir.Instr{Op: ir.OpCall, Sym: x.Fun, Args: args, Typ: ret, Pos: x.P}
+	if ret.Kind == types.Void {
+		fl.emit(in)
+		return 0, ret
+	}
+	return fl.emitV(in), ret
+}
+
+// convert coerces v from type `from` to type `to`, inserting conversion
+// instructions where representation changes.
+func (fl *funcLowerer) convert(p token.Pos, v ir.Value, from, to *types.Type) ir.Value {
+	if from == nil || to == nil || types.Same(from, to) {
+		return v
+	}
+	switch {
+	case from.IsInteger() && to.IsInteger():
+		return v // same representation
+	case from.Kind == types.Pointer && to.Kind == types.Pointer:
+		return v
+	case from.Kind == types.Pointer && to.IsInteger(),
+		from.IsInteger() && to.Kind == types.Pointer:
+		return v
+	case from.IsInteger() && to.IsFloat():
+		return fl.emitV(&ir.Instr{Op: ir.OpIntToFloat, Args: []ir.Value{v}, Typ: to})
+	case from.IsFloat() && to.IsInteger():
+		return fl.emitV(&ir.Instr{Op: ir.OpFloatToInt, Args: []ir.Value{v}, Typ: to})
+	case from.IsFloat() && to.IsFloat():
+		return v
+	}
+	fl.errorf(p, "cannot convert %s to %s", from, to)
+	return v
+}
+
+// stringLit places the literal in the globals segment as NUL-terminated
+// words (one character per word) and returns its address.
+func (fl *funcLowerer) stringLit(x *ast.StringLit) ir.Value {
+	name := fl.internString(x.Val)
+	return fl.emitV(&ir.Instr{Op: ir.OpGlobalAddr, Sym: name,
+		Typ: types.PointerTo(types.IntType)})
+}
+
+func (fl *funcLowerer) internString(s string) string {
+	name := ".str." + s
+	if _, ok := fl.mod.GlobalIndex[name]; ok {
+		return name
+	}
+	g := fl.mod.AddGlobal(name, types.ArrayOf(types.IntType, len(s)+1))
+	for _, c := range []byte(s) {
+		g.Init = append(g.Init, int64(c))
+	}
+	g.Init = append(g.Init, 0)
+	return name
+}

@@ -1,0 +1,47 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The parser must terminate with an error (never panic or hang) on
+// arbitrary garbage: random token soup assembled from valid lexemes.
+func TestParserRobustness(t *testing.T) {
+	atoms := []string{
+		"int", "unsigned", "float", "struct", "if", "else", "while", "for",
+		"switch", "case", "default", "break", "continue", "goto", "return",
+		"dynamicRegion", "key", "unrolled", "dynamic",
+		"x", "y", "foo", "42", "3.5", "(", ")", "{", "}", "[", "]",
+		"+", "-", "*", "/", "%", "=", "==", "!=", "<", ">", "<<", ">>",
+		"&&", "||", "->", ".", ",", ";", ":", "?", "&", "|", "^", "~", "!",
+		"++", "--", "+=", "\"str\"", "'c'",
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += atoms[r.Intn(len(atoms))] + " "
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("seed %d: parser panicked on %q: %v", seed, src, p)
+				}
+			}()
+			Parse(src) // error or success both fine; panic/hang is not
+		}()
+	}
+}
+
+// Deeply nested expressions must not blow the stack unreasonably.
+func TestDeepNesting(t *testing.T) {
+	expr := "x"
+	for i := 0; i < 2000; i++ {
+		expr = "(" + expr + "+1)"
+	}
+	if _, err := Parse("int f(int x) { return " + expr + "; }"); err != nil {
+		t.Fatalf("deep nesting: %v", err)
+	}
+}

@@ -1,0 +1,231 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"dyncc/internal/ast"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestFunctionsAndGlobals(t *testing.T) {
+	f := parse(t, `
+int g = 42;
+float fx;
+int add(int a, int b) { return a + b; }
+void nothing(void) { }
+extern int ignored;
+`)
+	if len(f.Globals) != 2 {
+		t.Errorf("globals: %d", len(f.Globals))
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs: %d", len(f.Funcs))
+	}
+	if f.Funcs[0].Name != "add" || len(f.Funcs[0].Params) != 2 {
+		t.Errorf("add: %+v", f.Funcs[0])
+	}
+	if init, ok := f.Globals[0].Init.(*ast.IntLit); !ok || init.Val != 42 {
+		t.Errorf("g init: %#v", f.Globals[0].Init)
+	}
+}
+
+func TestStructs(t *testing.T) {
+	f := parse(t, `
+struct Node { int val; struct Node *next; };
+struct Node *head;
+`)
+	if len(f.Structs) != 1 || f.Structs[0].Name != "Node" {
+		t.Fatalf("structs: %+v", f.Structs)
+	}
+	if len(f.Structs[0].Fields) != 2 {
+		t.Errorf("fields: %d", len(f.Structs[0].Fields))
+	}
+	if f.Structs[0].Fields[1].Type.Ptr != 1 {
+		t.Errorf("next should be a pointer")
+	}
+}
+
+func TestDynamicRegionAnnotation(t *testing.T) {
+	f := parse(t, `
+int f(int c, int k) {
+    dynamicRegion key(k) (c) {
+        return c + k;
+    }
+    return 0;
+}`)
+	var dr *ast.DynamicRegion
+	for _, s := range f.Funcs[0].Body.Stmts {
+		if d, ok := s.(*ast.DynamicRegion); ok {
+			dr = d
+		}
+	}
+	if dr == nil {
+		t.Fatal("no dynamicRegion parsed")
+	}
+	if len(dr.Keys) != 1 || dr.Keys[0] != "k" {
+		t.Errorf("keys: %v", dr.Keys)
+	}
+	if len(dr.Consts) != 1 || dr.Consts[0] != "c" {
+		t.Errorf("consts: %v", dr.Consts)
+	}
+}
+
+func TestUnrolledAndDynamicAnnotations(t *testing.T) {
+	f := parse(t, `
+int f(int *a, int n, int *p) {
+    dynamicRegion (a, n) {
+        int i;
+        int x = dynamic* p;
+        unrolled for (i = 0; i < n; i++) {
+            x += a dynamic[i];
+        }
+        return x;
+    }
+    return 0;
+}`)
+	src := f.Funcs[0]
+	dr := src.Body.Stmts[0].(*ast.DynamicRegion)
+	var sawUnrolled, sawDynIdx, sawDynDeref bool
+	var walkStmt func(s ast.Stmt)
+	var walkExpr func(e ast.Expr)
+	walkExpr = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Unary:
+			if x.Op.String() == "*" && x.Dynamic {
+				sawDynDeref = true
+			}
+			walkExpr(x.X)
+		case *ast.Index:
+			if x.Dynamic {
+				sawDynIdx = true
+			}
+			walkExpr(x.X)
+			walkExpr(x.I)
+		case *ast.Assign:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *ast.Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		}
+	}
+	walkStmt = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.Block:
+			for _, s2 := range x.Stmts {
+				walkStmt(s2)
+			}
+		case *ast.DeclStmt:
+			for _, d := range x.Decls {
+				if d.Init != nil {
+					walkExpr(d.Init)
+				}
+			}
+		case *ast.For:
+			if x.Unrolled {
+				sawUnrolled = true
+			}
+			walkStmt(x.Body)
+		case *ast.ExprStmt:
+			walkExpr(x.X)
+		case *ast.Return:
+			if x.X != nil {
+				walkExpr(x.X)
+			}
+		}
+	}
+	walkStmt(dr.Body)
+	if !sawUnrolled {
+		t.Error("unrolled for not parsed")
+	}
+	if !sawDynIdx {
+		t.Error("dynamic[] not parsed")
+	}
+	if !sawDynDeref {
+		t.Error("dynamic* not parsed")
+	}
+}
+
+func TestDynamicArrow(t *testing.T) {
+	f := parse(t, `
+struct S { int tag; };
+int f(struct S *p) { return p dynamic-> tag; }
+`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ast.Return)
+	fld, ok := ret.X.(*ast.Field)
+	if !ok || !fld.Dynamic || !fld.Arrow || fld.Name != "tag" {
+		t.Fatalf("dynamic-> parse: %#v", ret.X)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	f := parse(t, `int f(int a, int b, int c) { return a + b * c; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ast.Return)
+	add, ok := ret.X.(*ast.Binary)
+	if !ok || add.Op.String() != "+" {
+		t.Fatalf("top is %#v", ret.X)
+	}
+	if mul, ok := add.R.(*ast.Binary); !ok || mul.Op.String() != "*" {
+		t.Fatalf("rhs is %#v", add.R)
+	}
+}
+
+func TestTernaryAndCast(t *testing.T) {
+	f := parse(t, `unsigned f(int a) { return (unsigned)(a > 0 ? a : -a); }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ast.Return)
+	c, ok := ret.X.(*ast.Cast)
+	if !ok {
+		t.Fatalf("no cast: %#v", ret.X)
+	}
+	if _, ok := c.X.(*ast.Cond); !ok {
+		t.Fatalf("no ternary under cast: %#v", c.X)
+	}
+}
+
+func TestControlFlowForms(t *testing.T) {
+	parse(t, `
+int f(int n) {
+    int i = 0, acc = 0;
+    while (i < n) { i++; }
+    do { acc += i; } while (acc < 10);
+    for (;;) { break; }
+    switch (n) { case 1: acc = 1; case 2: acc = 2; break; default: acc = 3; }
+top:
+    if (acc > 100) goto done;
+    acc *= 2;
+    goto top;
+done:
+    return acc;
+}`)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`int f( { }`,
+		`int f() { return ; ; `,
+		`int f() { unrolled while (1) {} }`,
+		`int f() { dynamic + 1; }`,
+		`struct S { int x };`, // missing field semicolon forgiven? no: missing ; after }
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestCommaOperator(t *testing.T) {
+	f := parse(t, `int f(int a) { int b; b = (a++, a + 1); return b; }`)
+	if !strings.Contains(f.Funcs[0].Name, "f") {
+		t.Fatal("sanity")
+	}
+}

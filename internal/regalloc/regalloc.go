@@ -1,0 +1,267 @@
+// Package regalloc implements linear-scan register allocation over the
+// whole function — including template blocks, so that dynamically-compiled
+// code is register-allocated "in the context of its enclosing procedure"
+// (paper section 3.3) and stitched code's registers line up with the
+// surrounding code at run time.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"dyncc/internal/ir"
+	"dyncc/internal/vm"
+)
+
+// Loc is a value's assigned location.
+type Loc struct {
+	Reg     vm.Reg
+	Spilled bool
+	Slot    int // stack slot when spilled
+}
+
+// Allocation maps values to locations.
+type Allocation struct {
+	Loc       map[ir.Value]Loc
+	FrameSize int // total stack words incl. spills
+}
+
+// Verify enables the post-allocation overlap check (cheap; kept on).
+var Verify = true
+
+// Spill-shuttle registers reserved for the code generator.
+const (
+	TempA = vm.Reg(9)
+	TempB = vm.Reg(10)
+	TempC = vm.Reg(11)
+)
+
+// Pool of allocatable registers.
+func pool() []vm.Reg {
+	var rs []vm.Reg
+	for r := vm.Reg(12); r <= vm.RAllocLast; r++ {
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// holeSet is the set of values that are template holes (no register).
+type holeSet map[ir.Value]bool
+
+// Allocate assigns registers (or spill slots) to every value of f.
+// holes lists values that are table holes and take no register.
+func Allocate(f *ir.Func, holes map[ir.Value]bool) *Allocation {
+	hs := holeSet(holes)
+	order := blockOrder(f)
+	liveIn, liveOut := liveness(f, order, hs)
+
+	// Build conservative single-range intervals.
+	type interval struct {
+		v          ir.Value
+		start, end int
+	}
+	pos := map[*ir.Block]int{}
+	n := 0
+	for _, b := range order {
+		pos[b] = n
+		n += len(b.Instrs) + 1
+	}
+	iv := map[ir.Value]*interval{}
+	touch := func(v ir.Value, p int) {
+		if v == 0 || hs[v] {
+			return
+		}
+		i := iv[v]
+		if i == nil {
+			iv[v] = &interval{v: v, start: p, end: p}
+			return
+		}
+		if p < i.start {
+			i.start = p
+		}
+		if p > i.end {
+			i.end = p
+		}
+	}
+	// Parameters are defined by the prologue: their intervals must start at
+	// position 0 or another value could claim their register first.
+	for _, p := range f.Params {
+		touch(p, 0)
+	}
+	for _, b := range order {
+		bs := pos[b]
+		be := bs + len(b.Instrs)
+		// A value live across either block boundary is live at that
+		// boundary position: without this, a value entering a block and
+		// used mid-block would leave its head span uncovered and another
+		// definition could steal its register.
+		for v := range liveIn[b] {
+			touch(v, bs)
+		}
+		for v := range liveOut[b] {
+			touch(v, bs)
+			touch(v, be)
+		}
+		for k, in := range b.Instrs {
+			p := bs + k
+			touch(in.Dst, p)
+			for _, a := range in.Args {
+				touch(a, p)
+			}
+		}
+	}
+
+	ivs := make([]*interval, 0, len(iv))
+	for _, i := range iv {
+		ivs = append(ivs, i)
+	}
+	sort.Slice(ivs, func(a, b int) bool {
+		if ivs[a].start != ivs[b].start {
+			return ivs[a].start < ivs[b].start
+		}
+		return ivs[a].v < ivs[b].v
+	})
+
+	alloc := &Allocation{Loc: map[ir.Value]Loc{}, FrameSize: f.StackSize}
+	free := pool()
+	type active struct {
+		iv  *interval
+		reg vm.Reg
+	}
+	var act []active
+
+	expire := func(p int) {
+		na := act[:0]
+		for _, a := range act {
+			if a.iv.end < p {
+				free = append(free, a.reg)
+			} else {
+				na = append(na, a)
+			}
+		}
+		act = na
+	}
+	spillSlot := func() int {
+		s := alloc.FrameSize
+		alloc.FrameSize++
+		return s
+	}
+
+	defer func() {
+		if !Verify {
+			return
+		}
+		type assigned struct {
+			iv  *interval
+			reg vm.Reg
+		}
+		var as []assigned
+		for _, i := range ivs {
+			l := alloc.Loc[i.v]
+			if l.Spilled || l.Reg == 0 {
+				continue
+			}
+			as = append(as, assigned{i, l.Reg})
+		}
+		for x := 0; x < len(as); x++ {
+			for y := x + 1; y < len(as); y++ {
+				if as[x].reg != as[y].reg {
+					continue
+				}
+				a, b := as[x].iv, as[y].iv
+				if a.start <= b.end && b.start <= a.end {
+					panic(fmt.Sprintf("regalloc: %s: v%d [%d,%d] and v%d [%d,%d] share r%d",
+						f.Name, a.v, a.start, a.end, b.v, b.start, b.end, as[x].reg))
+				}
+			}
+		}
+	}()
+
+	for _, i := range ivs {
+		expire(i.start)
+		if len(free) > 0 {
+			r := free[len(free)-1]
+			free = free[:len(free)-1]
+			alloc.Loc[i.v] = Loc{Reg: r}
+			act = append(act, active{iv: i, reg: r})
+			continue
+		}
+		// Spill the interval ending furthest away.
+		far := -1
+		for k, a := range act {
+			if far < 0 || a.iv.end > act[far].iv.end {
+				far = k
+			}
+		}
+		if far >= 0 && act[far].iv.end > i.end {
+			r := act[far].reg
+			alloc.Loc[act[far].iv.v] = Loc{Spilled: true, Slot: spillSlot()}
+			alloc.Loc[i.v] = Loc{Reg: r}
+			act[far] = active{iv: i, reg: r}
+		} else {
+			alloc.Loc[i.v] = Loc{Spilled: true, Slot: spillSlot()}
+		}
+	}
+	return alloc
+}
+
+// blockOrder returns all blocks in a deterministic layout order.
+func blockOrder(f *ir.Func) []*ir.Block {
+	return f.Blocks
+}
+
+// liveness computes per-block live-out sets (backward union dataflow).
+// Hole values are excluded.
+func liveness(f *ir.Func, order []*ir.Block, hs holeSet) (map[*ir.Block]map[ir.Value]bool, map[*ir.Block]map[ir.Value]bool) {
+	use := map[*ir.Block]map[ir.Value]bool{}
+	def := map[*ir.Block]map[ir.Value]bool{}
+	for _, b := range order {
+		u, d := map[ir.Value]bool{}, map[ir.Value]bool{}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a != 0 && !hs[a] && !d[a] {
+					u[a] = true
+				}
+			}
+			if in.Dst != 0 {
+				d[in.Dst] = true
+			}
+		}
+		use[b], def[b] = u, d
+	}
+	liveIn := map[*ir.Block]map[ir.Value]bool{}
+	liveOut := map[*ir.Block]map[ir.Value]bool{}
+	for _, b := range order {
+		liveIn[b] = map[ir.Value]bool{}
+		liveOut[b] = map[ir.Value]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := len(order) - 1; k >= 0; k-- {
+			b := order[k]
+			out := liveOut[b]
+			for _, s := range b.Succs() {
+				for v := range liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[b]
+			for v := range use[b] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !def[b][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn, liveOut
+}

@@ -1,0 +1,149 @@
+// Package rtr is the run-time half of the system: it wires the VM's
+// dynamic-region hooks, manages the per-region cache of stitched code
+// (keyed by the values of the region's key variables, paper section 2),
+// invokes the stitcher, and accounts its modeled cost.
+package rtr
+
+import (
+	"fmt"
+
+	"dyncc/internal/stitcher"
+	"dyncc/internal/tmpl"
+	"dyncc/internal/vm"
+)
+
+// Runtime manages stitched code for one program. A Runtime may be attached
+// to any number of machines; each machine gets its own code cache (its
+// table lives in its own memory).
+type Runtime struct {
+	Prog    *vm.Program
+	Regions []*tmpl.Region
+	Opts    stitcher.Options
+
+	// Stats accumulates stitcher statistics per region index across all
+	// attached machines.
+	Stats []stitcher.Stats
+
+	// Stitched records every stitched segment per region (diagnostics).
+	Stitched map[int][]*vm.Segment
+
+	// SetupFn, when present for a region, evaluates the region's set-up
+	// host-side (the paper's section 7 merged set-up+stitch mode): it
+	// builds the run-time constants table directly in the machine's memory
+	// and returns its base address plus the modeled cycle cost. With a
+	// SetupFn installed, stitching happens immediately at DYNENTER and the
+	// inline VM set-up code is never executed.
+	SetupFn map[int]func(m *vm.Machine) (int64, uint64, error)
+
+	// machines tracks per-machine state (each machine has its own code
+	// cache, since its tables live in its own memory).
+	machines map[*vm.Machine]*machineState
+}
+
+// New creates a runtime for prog with the given region metadata.
+func New(prog *vm.Program, regions []*tmpl.Region, opts stitcher.Options) *Runtime {
+	return &Runtime{
+		Prog:     prog,
+		Regions:  regions,
+		Opts:     opts,
+		Stats:    make([]stitcher.Stats, len(regions)),
+		Stitched: map[int][]*vm.Segment{},
+		SetupFn:  map[int]func(m *vm.Machine) (int64, uint64, error){},
+		machines: map[*vm.Machine]*machineState{},
+	}
+}
+
+type machineState struct {
+	cache   map[int]map[string]*vm.Segment // region -> key -> code
+	pending map[int]string                 // region -> key awaiting stitch
+}
+
+// Attach wires the runtime into machine m.
+func (rt *Runtime) Attach(m *vm.Machine) {
+	ms := &machineState{
+		cache:   map[int]map[string]*vm.Segment{},
+		pending: map[int]string{},
+	}
+	m.OnDynEnter = func(m *vm.Machine, region int) (*vm.Segment, int, error) {
+		r := rt.Regions[region]
+		key := keyOf(m, r)
+		if seg := ms.cache[region][key]; seg != nil {
+			return seg, 0, nil
+		}
+		if setup := rt.SetupFn[region]; setup != nil {
+			// Merged set-up + stitch: build the table host-side and stitch
+			// immediately; the inline VM set-up code never runs.
+			tbl, cost, err := setup(m)
+			if err != nil {
+				return nil, 0, fmt.Errorf("merged set-up %s: %w", r.Name, err)
+			}
+			rc := m.Region(region)
+			rc.SetupCycles += cost
+			m.Cycles += cost
+			return rt.stitchNow(m, region, key, tbl)
+		}
+		ms.pending[region] = key
+		return nil, 0, nil // run inline set-up, then DYNSTITCH
+	}
+	m.OnDynStitch = func(m *vm.Machine, region int) (*vm.Segment, int, error) {
+		key := ms.pending[region]
+		delete(ms.pending, region)
+		return rt.stitchNow(m, region, key, m.Regs[vm.RScratch])
+	}
+	m.OnReset = func(m *vm.Machine) {
+		// The machine's memory (and so its constants tables and input data
+		// structures) is being wiped: cached specializations are stale.
+		ms.cache = map[int]map[string]*vm.Segment{}
+		ms.pending = map[int]string{}
+	}
+	rt.machines[m] = ms
+}
+
+// stitchNow stitches region for machine m against the table at tbl and
+// caches the result under key.
+func (rt *Runtime) stitchNow(m *vm.Machine, region int, key string, tbl int64) (*vm.Segment, int, error) {
+	ms := rt.machines[m]
+	r := rt.Regions[region]
+	parent := m.Prog.Segs[r.FuncID]
+	seg, stats, err := stitcher.Stitch(r, m.Mem, tbl, parent, rt.Opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("stitch region %s: %w", r.Name, err)
+	}
+	if ms.cache[region] == nil {
+		ms.cache[region] = map[string]*vm.Segment{}
+	}
+	ms.cache[region][key] = seg
+	rt.Stitched[region] = append(rt.Stitched[region], seg)
+
+	// Account the modeled stitcher cost.
+	rc := m.Region(region)
+	rc.StitchCycles += stats.CyclesModeled
+	rc.StitchedInsts += uint64(stats.InstsStitched)
+	rc.Compiles++
+	m.Cycles += stats.CyclesModeled
+
+	s := &rt.Stats[region]
+	s.InstsStitched += stats.InstsStitched
+	s.HolesPatched += stats.HolesPatched
+	s.BranchesResolved += stats.BranchesResolved
+	s.LoopIterations += stats.LoopIterations
+	s.StrengthReductions += stats.StrengthReductions
+	s.LargeConsts += stats.LargeConsts
+	s.LoadsPromoted += stats.LoadsPromoted
+	s.StoresPromoted += stats.StoresPromoted
+	s.CyclesModeled += stats.CyclesModeled
+	return seg, 0, nil
+}
+
+// keyOf builds the cache key from the key-variable values staged in the
+// shuttle registers at DYNENTER.
+func keyOf(m *vm.Machine, r *tmpl.Region) string {
+	if len(r.KeyRegs) == 0 {
+		return ""
+	}
+	k := ""
+	for _, reg := range r.KeyRegs {
+		k += fmt.Sprintf("%d,", m.Regs[reg])
+	}
+	return k
+}

@@ -1,0 +1,162 @@
+package rtr_test
+
+import (
+	"testing"
+
+	"dyncc/internal/core"
+	"dyncc/internal/stitcher"
+)
+
+const keyedSrc = `
+int scale(int s, int x) {
+    int r;
+    dynamicRegion key(s) () {
+        r = x * s;
+    }
+    return r;
+}`
+
+func TestKeyedCodeCache(t *testing.T) {
+	c, err := core.Compile(keyedSrc, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine(0)
+	// Three scalars, several invocations each, interleaved.
+	for round := 0; round < 4; round++ {
+		for _, s := range []int64{3, 7, 10} {
+			for _, x := range []int64{1, -5, 100} {
+				got, err := m.Call("scale", s, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != s*x {
+					t.Fatalf("scale(%d,%d) = %d", s, x, got)
+				}
+			}
+		}
+	}
+	rc := m.Region(0)
+	if rc.Compiles != 3 {
+		t.Errorf("expected 3 compiled versions (one per key), got %d", rc.Compiles)
+	}
+	if rc.Invocations != 4*3*3 {
+		t.Errorf("invocations: %d", rc.Invocations)
+	}
+	if len(c.Runtime.Stitched[0]) != 3 {
+		t.Errorf("stitched segments: %d", len(c.Runtime.Stitched[0]))
+	}
+}
+
+func TestUnkeyedRegionCompilesOnce(t *testing.T) {
+	src := `
+int f(int c, int x) {
+    int r;
+    dynamicRegion (c) {
+        r = x + c;
+    }
+    return r;
+}`
+	c, err := core.Compile(src, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine(0)
+	for i := int64(0); i < 50; i++ {
+		if got, err := m.Call("f", 9, i); err != nil || got != 9+i {
+			t.Fatalf("f(9,%d) = %d, %v", i, got, err)
+		}
+	}
+	if m.Region(0).Compiles != 1 {
+		t.Errorf("compiles: %d", m.Region(0).Compiles)
+	}
+}
+
+// Separate machines have separate caches (their tables live in their own
+// memory), while the runtime aggregates stats across machines.
+func TestPerMachineCaches(t *testing.T) {
+	c, err := core.Compile(keyedSrc, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := c.NewMachine(0)
+	m2 := c.NewMachine(0)
+	if _, err := m1.Call("scale", 5, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Call("scale", 5, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Region(0).Compiles != 1 || m2.Region(0).Compiles != 1 {
+		t.Error("each machine must stitch its own version")
+	}
+	if c.Runtime.Stats[0].InstsStitched == 0 {
+		t.Error("runtime stats not aggregated")
+	}
+}
+
+func TestStrengthReductionAblation(t *testing.T) {
+	on, err := core.Compile(keyedSrc, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := core.Compile(keyedSrc, core.Config{Dynamic: true, Optimize: true,
+		Stitcher: stitcher.Options{NoStrengthReduction: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOn, mOff := on.NewMachine(0), off.NewMachine(0)
+	for i := int64(0); i < 100; i++ {
+		a, _ := mOn.Call("scale", 7, i)
+		b, _ := mOff.Call("scale", 7, i)
+		if a != b || a != 7*i {
+			t.Fatalf("mismatch at %d: %d vs %d", i, a, b)
+		}
+	}
+	if on.Runtime.Stats[0].StrengthReductions == 0 {
+		t.Error("expected reductions with the option on")
+	}
+	if off.Runtime.Stats[0].StrengthReductions != 0 {
+		t.Error("expected no reductions with the option off")
+	}
+	// Multiply by 7 without reduction costs more cycles per invocation.
+	if mOff.Region(0).ExecCycles <= mOn.Region(0).ExecCycles {
+		t.Errorf("ablation should cost cycles: on=%d off=%d",
+			mOn.Region(0).ExecCycles, mOff.Region(0).ExecCycles)
+	}
+}
+
+// Reset wipes machine memory, so cached specializations must be dropped
+// and the region recompiled against the new data.
+func TestResetInvalidatesCache(t *testing.T) {
+	src := `
+int first(int *a) {
+    dynamicRegion (a) {
+        return a[0] * 2;
+    }
+    return -1;
+}`
+	c, err := core.Compile(src, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine(0)
+	addr, _ := m.Alloc(1)
+	m.Mem[addr] = 21
+	if v, _ := m.Call("first", addr); v != 42 {
+		t.Fatalf("first run: %d", v)
+	}
+	m.Reset()
+	addr2, _ := m.Alloc(1)
+	m.Mem[addr2] = 100
+	v, err := m.Call("first", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 200 {
+		t.Errorf("after reset: %d, want 200 (stale specialization?)", v)
+	}
+	if m.Region(0).Compiles != 2 {
+		t.Errorf("compiles: %d, want 2", m.Region(0).Compiles)
+	}
+}

@@ -1,0 +1,219 @@
+package stitcher
+
+import (
+	"math/bits"
+
+	"dyncc/internal/vm"
+)
+
+// patch emits instruction in with hole value v filled. Integer values that
+// fit the immediate field are patched directly; oversized values are routed
+// through the linearized large-constant table (paper section 4); multiplies
+// and unsigned divides/mods by suitable constants are strength-reduced.
+func (st *stitch) patch(in vm.Inst, v int64) {
+	switch in.Op {
+	case vm.LDC:
+		in.Imm = st.largeConst(v)
+		st.add(in)
+	case vm.LI:
+		if vm.FitsImm(v) {
+			in.Imm = v
+			st.add(in)
+		} else {
+			st.add(vm.Inst{Op: vm.LDC, Rd: in.Rd, Imm: st.largeConst(v)})
+		}
+	default:
+		if !st.opts.NoStrengthReduction && st.strengthReduce(in, v) {
+			return
+		}
+		if vm.FitsImm(v) {
+			in.Imm = v
+			st.add(in)
+			return
+		}
+		// Too large for the immediate field: load it from the linearized
+		// table into the stitcher's scratch register and use the
+		// register-register form.
+		st.add(vm.Inst{Op: vm.LDC, Rd: vm.RScratch, Imm: st.largeConst(v)})
+		st.add(vm.Inst{Op: vm.ImmToRegForm(in.Op), Rd: in.Rd, Rs: in.Rs, Rt: vm.RScratch})
+	}
+}
+
+// csdTerms returns the canonical-signed-digit decomposition of v — a
+// minimal-ish set of ±2^k terms summing to v — and whether the
+// decomposition is complete within the term budget.
+func csdTerms(v int64) ([]struct {
+	shift int64
+	neg   bool
+}, bool) {
+	var terms []struct {
+		shift int64
+		neg   bool
+	}
+	u := v
+	k := int64(0)
+	for u != 0 && len(terms) < 16 {
+		if u&1 != 0 {
+			// Choose digit +1 or -1 so the remaining value stays even
+			// with a long run of zeros (u mod 4 == 1 → +1, == 3 → -1).
+			if u&3 == 3 {
+				terms = append(terms, struct {
+					shift int64
+					neg   bool
+				}{k, true})
+				u++
+			} else {
+				terms = append(terms, struct {
+					shift int64
+					neg   bool
+				}{k, false})
+				u--
+			}
+		}
+		u >>= 1
+		k++
+	}
+	return terms, u == 0
+}
+
+// emitCSD rewrites rd = rs * v as a chain of shifts and adds/subs when that
+// is cheaper than the modeled multiply. Uses the stitcher scratch
+// registers; rs is never clobbered before its last read.
+func (st *stitch) emitCSD(rd, rs vm.Reg, v int64) bool {
+	terms, complete := csdTerms(v)
+	if len(terms) == 0 || !complete {
+		return false
+	}
+	cost := uint64(2*len(terms) - 1)
+	if len(terms) == 1 && !terms[0].neg {
+		cost = 1
+	}
+	if cost+1 >= vm.CostMul { // +1 for a possible final move
+		return false
+	}
+	// Accumulate into a target that cannot alias rs.
+	acc := rd
+	if rd == rs {
+		acc = vm.RScratch2
+	}
+	// Highest term first.
+	last := len(terms) - 1
+	st.add(vm.Inst{Op: vm.SHLI, Rd: acc, Rs: rs, Imm: terms[last].shift})
+	if terms[last].neg {
+		st.add(vm.Inst{Op: vm.NEG, Rd: acc, Rs: acc})
+	}
+	for i := last - 1; i >= 0; i-- {
+		t := terms[i]
+		op := vm.ADD
+		if t.neg {
+			op = vm.SUB
+		}
+		if t.shift == 0 {
+			st.add(vm.Inst{Op: op, Rd: acc, Rs: acc, Rt: rs})
+			continue
+		}
+		st.add(vm.Inst{Op: vm.SHLI, Rd: vm.RScratch, Rs: rs, Imm: t.shift})
+		st.add(vm.Inst{Op: op, Rd: acc, Rs: acc, Rt: vm.RScratch})
+	}
+	if acc != rd {
+		st.add(vm.Inst{Op: vm.MOV, Rd: rd, Rs: acc})
+	}
+	return true
+}
+
+func isPow2(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+func log2(v int64) int64 { return int64(bits.TrailingZeros64(uint64(v))) }
+
+// strengthReduce rewrites an immediate ALU instruction using the actual
+// constant value: multiplies become shifts/adds/subs; unsigned divisions
+// and moduli by powers of two become shifts and bitwise ands.
+func (st *stitch) strengthReduce(in vm.Inst, v int64) bool {
+	done := func() bool {
+		st.stats.StrengthReductions++
+		return true
+	}
+	switch in.Op {
+	case vm.MULI:
+		switch {
+		case v == 0:
+			st.add(vm.Inst{Op: vm.LI, Rd: in.Rd, Imm: 0})
+			return done()
+		case v == 1:
+			st.add(vm.Inst{Op: vm.MOV, Rd: in.Rd, Rs: in.Rs})
+			return done()
+		case v == -1:
+			st.add(vm.Inst{Op: vm.NEG, Rd: in.Rd, Rs: in.Rs})
+			return done()
+		case isPow2(v):
+			st.add(vm.Inst{Op: vm.SHLI, Rd: in.Rd, Rs: in.Rs, Imm: log2(v)})
+			return done()
+		default:
+			if st.emitCSD(in.Rd, in.Rs, v) {
+				return done()
+			}
+		}
+	case vm.UDIVI:
+		if isPow2(v) {
+			st.add(vm.Inst{Op: vm.SHRUI, Rd: in.Rd, Rs: in.Rs, Imm: log2(v)})
+			return done()
+		}
+	case vm.UMODI:
+		if isPow2(v) && vm.FitsImm(v-1) {
+			st.add(vm.Inst{Op: vm.ANDI, Rd: in.Rd, Rs: in.Rs, Imm: v - 1})
+			return done()
+		}
+	case vm.ADDI, vm.SUBI, vm.ORI, vm.XORI:
+		if v == 0 {
+			st.add(vm.Inst{Op: vm.MOV, Rd: in.Rd, Rs: in.Rs})
+			return done()
+		}
+	}
+	return false
+}
+
+// peephole removes branches to the next instruction and folds conditional
+// jumps over unconditional branches, remapping all intra-segment targets.
+// XFER targets point into the parent segment and are left alone.
+func (st *stitch) peephole() {
+	code := st.out
+	for i := 0; i+1 < len(code); i++ {
+		c := code[i]
+		n := code[i+1]
+		if (c.Op == vm.BNEZ || c.Op == vm.BEQZ) && n.Op == vm.BR && c.Target == i+2 {
+			inv := vm.BEQZ
+			if c.Op == vm.BEQZ {
+				inv = vm.BNEZ
+			}
+			code[i] = vm.Inst{Op: inv, Rs: c.Rs, Target: n.Target}
+			code[i+1] = vm.Inst{Op: vm.NOP}
+		}
+	}
+	keep := make([]bool, len(code))
+	for i, in := range code {
+		keep[i] = in.Op != vm.NOP && !(in.Op == vm.BR && in.Target == i+1)
+	}
+	// Keep deleting newly-trivial branches until stable (a BR chain can
+	// collapse in multiple steps). Conservative single extra pass.
+	newpc := make([]int, len(code)+1)
+	n := 0
+	for i := range code {
+		newpc[i] = n
+		if keep[i] {
+			n++
+		}
+	}
+	newpc[len(code)] = n
+	var out []vm.Inst
+	for i, in := range code {
+		if !keep[i] {
+			continue
+		}
+		switch in.Op {
+		case vm.BEQZ, vm.BNEZ, vm.BEQI, vm.BR:
+			in.Target = newpc[in.Target]
+		}
+		out = append(out, in)
+	}
+	st.out = out
+}

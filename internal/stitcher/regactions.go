@@ -1,0 +1,276 @@
+package stitcher
+
+import (
+	"sort"
+
+	"dyncc/internal/vm"
+)
+
+// registerActions implements the paper's section 5 extension: after
+// stitching, array/stack words addressed entirely by run-time-constant
+// offsets are promoted to reserved registers, eliminating their loads,
+// stores and address arithmetic (a variation of Wall's link-time register
+// actions). The pass is conservative: it first folds constant address
+// arithmetic into load/store offsets, then promotes frame slots only when
+// every remaining memory access in the stitched code is frame-relative, so
+// no alias can observe the promoted slots. Promoted slots are flushed back
+// to memory before every region exit and return.
+func (st *stitch) registerActions() {
+	st.foldAddresses()
+
+	code := st.out
+	// All memory operations must be SP-relative for promotion to be sound.
+	type slotUse struct{ count int }
+	slots := map[int64]*slotUse{}
+	for _, in := range code {
+		switch in.Op {
+		case vm.LD:
+			if in.Rs != vm.RSP {
+				return
+			}
+			u := slots[in.Imm]
+			if u == nil {
+				u = &slotUse{}
+				slots[in.Imm] = u
+			}
+			u.count++
+		case vm.ST:
+			if in.Rs != vm.RSP {
+				return
+			}
+			u := slots[in.Imm]
+			if u == nil {
+				u = &slotUse{}
+				slots[in.Imm] = u
+			}
+			u.count++
+		case vm.CALL, vm.DYNENTER, vm.DYNSTITCH:
+			// A call could re-enter arbitrary code; keep it simple.
+			return
+		}
+	}
+	if len(slots) == 0 {
+		return
+	}
+	// Pick the most-used slots, up to the reserved register budget.
+	type cand struct {
+		slot  int64
+		count int
+	}
+	var cands []cand
+	for s, u := range slots {
+		cands = append(cands, cand{s, u.count})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].count != cands[j].count {
+			return cands[i].count > cands[j].count
+		}
+		return cands[i].slot < cands[j].slot
+	})
+	budget := int(vm.RPromoLast - vm.RPromo0 + 1)
+	if len(cands) > budget {
+		cands = cands[:budget]
+	}
+	promo := map[int64]vm.Reg{}
+	for i, c := range cands {
+		promo[c.slot] = vm.RPromo0 + vm.Reg(i)
+	}
+
+	// Rewrite: preload at entry, replace accesses, flush at exits.
+	var out []vm.Inst
+	remap := make([]int, len(code)+1)
+	var preload []vm.Inst
+	for _, c := range cands {
+		preload = append(preload, vm.Inst{Op: vm.LD, Rd: promo[c.slot], Rs: vm.RSP, Imm: c.slot})
+	}
+	flush := func() {
+		for _, c := range cands {
+			out = append(out, vm.Inst{Op: vm.ST, Rs: vm.RSP, Imm: c.slot, Rt: promo[c.slot]})
+		}
+	}
+	out = append(out, preload...)
+	for i, in := range code {
+		remap[i] = len(out)
+		switch in.Op {
+		case vm.LD:
+			if r, ok := promo[in.Imm]; ok {
+				out = append(out, vm.Inst{Op: vm.MOV, Rd: in.Rd, Rs: r})
+				st.stats.LoadsPromoted++
+				continue
+			}
+		case vm.ST:
+			if r, ok := promo[in.Imm]; ok {
+				out = append(out, vm.Inst{Op: vm.MOV, Rd: r, Rs: in.Rt})
+				st.stats.StoresPromoted++
+				continue
+			}
+		case vm.XFER, vm.RET:
+			flush()
+		}
+		out = append(out, in)
+	}
+	remap[len(code)] = len(out)
+	for i := range out {
+		switch out[i].Op {
+		case vm.BEQZ, vm.BNEZ, vm.BEQI, vm.BR:
+			out[i].Target = remap[out[i].Target]
+		}
+	}
+	st.out = out
+}
+
+// foldAddresses folds `ADDI x, y, c` into a following frame/array access
+// `LD rd,[x+k]` / `ST [x+k],rt` as `[y + c+k]`, when x is consumed only by
+// that access within the same straight-line span. This recovers the
+// [base + run-time-constant] shape that register promotion needs.
+func (st *stitch) foldAddresses() {
+	for i := 0; i < 4; i++ {
+		if st.foldAddressesOnce() == 0 {
+			break
+		}
+	}
+}
+
+func (st *stitch) foldAddressesOnce() int {
+	folded := 0
+	code := st.out
+	// Branch targets break straight-line spans.
+	target := make([]bool, len(code)+1)
+	for _, in := range code {
+		switch in.Op {
+		case vm.BEQZ, vm.BNEZ, vm.BEQI, vm.BR:
+			if in.Target >= 0 && in.Target < len(target) {
+				target[in.Target] = true
+			}
+		}
+	}
+	reads := func(in vm.Inst, r vm.Reg) bool {
+		if r == vm.RZero {
+			return false
+		}
+		switch in.Op {
+		case vm.LI, vm.LDC, vm.BR, vm.RET, vm.XFER, vm.NOP, vm.HALT:
+			return false
+		case vm.ST:
+			return in.Rs == r || in.Rt == r
+		case vm.BEQZ, vm.BNEZ, vm.BEQI:
+			return in.Rs == r
+		case vm.MOV, vm.NEG, vm.NOT, vm.FNEG, vm.ITOF, vm.FTOI, vm.LD, vm.ALLOC:
+			return in.Rs == r
+		case vm.CALL, vm.DYNENTER, vm.DYNSTITCH:
+			return true // conservatively reads everything
+		}
+		if in.Op.HasImmOperand() {
+			return in.Rs == r
+		}
+		return in.Rs == r || in.Rt == r
+	}
+	writes := func(in vm.Inst, r vm.Reg) bool {
+		switch in.Op {
+		case vm.ST, vm.BEQZ, vm.BNEZ, vm.BEQI, vm.BR, vm.RET, vm.XFER, vm.NOP, vm.HALT:
+			return false
+		}
+		return in.Rd == r
+	}
+
+	for i := 0; i < len(code); i++ {
+		in := code[i]
+		var x, y vm.Reg
+		var c int64
+		switch {
+		case in.Op == vm.ADDI && in.Rd != vm.RSP && in.Rd != in.Rs:
+			x, y, c = in.Rd, in.Rs, in.Imm
+		case in.Op == vm.MOV && in.Rd != vm.RSP && in.Rd != in.Rs:
+			x, y, c = in.Rd, in.Rs, 0
+		default:
+			continue
+		}
+		// Scan forward: every use of x must be a foldable base (load/store
+		// address or a further ADDI), x must be provably dead at span end
+		// (redefined, or flow leaves), and y must stay unchanged meanwhile.
+		var consumers []int
+		foldable := true
+		deadAfter := false
+		for j := i + 1; j < len(code) && foldable && !deadAfter; j++ {
+			if target[j] {
+				foldable = false
+				break
+			}
+			cj := code[j]
+			if reads(cj, x) {
+				if (cj.Op == vm.LD && cj.Rs == x && cj.Rd != y) ||
+					(cj.Op == vm.ST && cj.Rs == x && cj.Rt != x) ||
+					(cj.Op == vm.ADDI && cj.Rs == x && cj.Rd != y && cj.Rd != x) ||
+					(cj.Op == vm.MOV && cj.Rs == x && cj.Rd != y && cj.Rd != x) {
+					consumers = append(consumers, j)
+				} else {
+					foldable = false
+					break
+				}
+			}
+			if writes(cj, x) {
+				deadAfter = true
+				break
+			}
+			if writes(cj, y) {
+				foldable = false
+				break
+			}
+			switch cj.Op {
+			case vm.RET, vm.XFER:
+				deadAfter = true
+			case vm.BR, vm.BEQZ, vm.BNEZ, vm.BEQI, vm.JTBL:
+				// A branch may carry x live to its target.
+				foldable = false
+			}
+		}
+		if !foldable || len(consumers) == 0 || !deadAfter {
+			continue
+		}
+		for _, j := range consumers {
+			switch code[j].Op {
+			case vm.MOV:
+				// mov z, x  becomes  addi z, y, c  (or mov when c == 0).
+				if c == 0 {
+					code[j] = vm.Inst{Op: vm.MOV, Rd: code[j].Rd, Rs: y}
+				} else {
+					code[j] = vm.Inst{Op: vm.ADDI, Rd: code[j].Rd, Rs: y, Imm: c}
+				}
+			default:
+				code[j].Rs = y
+				code[j].Imm += c
+			}
+		}
+		code[i] = vm.Inst{Op: vm.NOP}
+		folded++
+	}
+	// Strip the NOPs.
+	st.stripNops()
+	return folded
+}
+
+func (st *stitch) stripNops() {
+	code := st.out
+	newpc := make([]int, len(code)+1)
+	n := 0
+	for i, in := range code {
+		newpc[i] = n
+		if in.Op != vm.NOP {
+			n++
+		}
+	}
+	newpc[len(code)] = n
+	var out []vm.Inst
+	for i, in := range code {
+		if in.Op == vm.NOP {
+			continue
+		}
+		switch in.Op {
+		case vm.BEQZ, vm.BNEZ, vm.BEQI, vm.BR:
+			in.Target = newpc[in.Target]
+		}
+		out = append(out, in)
+		_ = i
+	}
+	st.out = out
+}

@@ -1,0 +1,364 @@
+// Package stitcher implements the paper's dynamic compiler (section 4).
+// Given the machine-code templates, directives and the run-time constants
+// table computed by set-up code, the stitcher copies templates into an
+// executable code segment, patching holes with constant values, resolving
+// constant branches (dead-code elimination), completely unrolling annotated
+// loops by walking the per-iteration linked table records, maintaining a
+// linearized table for large and non-integer constants, and applying
+// peephole strength reduction that exploits the actual constant values.
+package stitcher
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dyncc/internal/tmpl"
+	"dyncc/internal/vm"
+)
+
+// Options control optional stitcher behaviour.
+type Options struct {
+	// NoStrengthReduction disables the value-based peephole rewrites
+	// (ablation switch; the paper's Table 3 "strength reduction" column).
+	NoStrengthReduction bool
+	// RegisterActions enables the Wall-style register-action extension
+	// (paper section 5): promotion of stack/array slots addressed by
+	// run-time-constant offsets into reserved registers.
+	RegisterActions bool
+}
+
+// Stats reports what one stitch did.
+type Stats struct {
+	InstsStitched      int
+	HolesPatched       int
+	BranchesResolved   int // constant branches eliminated (dead code elim)
+	LoopIterations     int // unrolled copies emitted
+	StrengthReductions int
+	LargeConsts        int
+	LoadsPromoted      int // register actions: loads replaced by registers
+	StoresPromoted     int
+	CyclesModeled      uint64
+}
+
+// Modeled cycle costs of stitcher work, charged per action. The stitcher
+// itself is host code; these constants stand in for the directive
+// interpreter the paper measures (whose cost dominates its Table 2
+// overhead column).
+const (
+	costPerInst   = 6  // copy one template instruction
+	costPerHole   = 10 // patch one hole (table lookup + encode)
+	costPerBlock  = 12 // directive bookkeeping per block visited
+	costPerBranch = 8  // resolve a constant branch
+	costPerIter   = 14 // advance to the next loop record
+	costPerLConst = 6  // install a large constant
+)
+
+// Stitch instantiates region's templates against the run-time constants
+// table at tableBase in mem, producing an executable segment whose exits
+// XFER back into parent.
+func Stitch(region *tmpl.Region, mem []int64, tableBase int64,
+	parent *vm.Segment, opts Options) (*vm.Segment, *Stats, error) {
+
+	st := &stitch{
+		r:       region,
+		mem:     mem,
+		tbl:     tableBase,
+		opts:    opts,
+		emitted: map[string]int{},
+		cindex:  map[int64]int{},
+		stats:   &Stats{},
+	}
+	// Precompute loop lookup tables.
+	st.loops = map[int]*tmpl.Loop{}
+	for _, l := range region.Loops {
+		st.loops[l.ID] = l
+	}
+
+	entryPC, err := st.emitBlock(region.Entry, map[int]int64{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if entryPC != 0 {
+		return nil, nil, fmt.Errorf("stitch: entry not at pc 0")
+	}
+	st.peephole()
+	for i := 0; i < 4; i++ {
+		if vm.DeadWriteNops(st.out) == 0 {
+			break
+		}
+		st.stripNops()
+	}
+
+	if opts.RegisterActions {
+		st.registerActions()
+	}
+
+	st.stats.InstsStitched = len(st.out)
+	st.stats.CyclesModeled += uint64(costPerInst * len(st.out))
+
+	seg := &vm.Segment{
+		Name:     region.Name + ".stitched",
+		Code:     st.out,
+		Consts:   st.consts,
+		Parent:   parent,
+		Region:   region.Index,
+		Stitched: true,
+	}
+	return seg, st.stats, nil
+}
+
+type stitch struct {
+	r    *tmpl.Region
+	mem  []int64
+	tbl  int64
+	opts Options
+
+	out     []vm.Inst
+	consts  []int64
+	cindex  map[int64]int
+	emitted map[string]int
+	loops   map[int]*tmpl.Loop
+	stats   *Stats
+}
+
+func (st *stitch) add(in vm.Inst) int {
+	st.out = append(st.out, in)
+	return len(st.out) - 1
+}
+
+// chain returns the enclosing-loop ids of block bi, innermost first.
+func (st *stitch) chain(bi int) []int {
+	var ids []int
+	id := st.r.Blocks[bi].LoopID
+	for id >= 0 {
+		ids = append(ids, id)
+		id = st.loops[id].ParentID
+	}
+	return ids
+}
+
+func inChain(chain []int, id int) bool {
+	for _, c := range chain {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxKey identifies one emission of a block: the block plus the active
+// iteration records of its enclosing unrolled loops.
+func (st *stitch) ctxKey(bi int, ctx map[int]int64) string {
+	ids := st.chain(bi)
+	sort.Ints(ids)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "b%d", bi)
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "|%d:%d", id, ctx[id])
+	}
+	return sb.String()
+}
+
+// slotAddr resolves a table slot reference against the active records.
+func (st *stitch) slotAddr(ref tmpl.SlotRef, ctx map[int]int64) (int64, error) {
+	base := st.tbl
+	if ref.LoopID >= 0 {
+		rec, ok := ctx[ref.LoopID]
+		if !ok {
+			return 0, fmt.Errorf("stitch: no active record for loop %d", ref.LoopID)
+		}
+		base = rec
+	}
+	a := base + int64(ref.Slot)
+	if a < 0 || a >= int64(len(st.mem)) {
+		return 0, fmt.Errorf("stitch: table slot out of bounds (%d)", a)
+	}
+	return a, nil
+}
+
+func (st *stitch) readSlot(ref tmpl.SlotRef, ctx map[int]int64) (int64, error) {
+	a, err := st.slotAddr(ref, ctx)
+	if err != nil {
+		return 0, err
+	}
+	return st.mem[a], nil
+}
+
+// largeConst interns v in the linearized large-constant table.
+func (st *stitch) largeConst(v int64) int64 {
+	if i, ok := st.cindex[v]; ok {
+		return int64(i)
+	}
+	i := len(st.consts)
+	st.consts = append(st.consts, v)
+	st.cindex[v] = i
+	st.stats.LargeConsts++
+	st.stats.CyclesModeled += costPerLConst
+	return int64(i)
+}
+
+// transition computes the record context for following the edge from -> to,
+// reading header slots when entering loops and advancing along the record
+// chain on back edges.
+func (st *stitch) transition(from, to int, ctx map[int]int64) (map[int]int64, error) {
+	fromChain := st.chain(from)
+	toChain := st.chain(to)
+	nctx := map[int]int64{}
+	for id, rec := range ctx {
+		if inChain(toChain, id) {
+			nctx[id] = rec
+		}
+	}
+	// Entering loops: outermost-first so parent records resolve.
+	var entering []int
+	for _, id := range toChain {
+		if !inChain(fromChain, id) {
+			entering = append(entering, id)
+		}
+	}
+	for i := len(entering) - 1; i >= 0; i-- {
+		l := st.loops[entering[i]]
+		if l.HeadBlock != to {
+			return nil, fmt.Errorf("stitch: loop %d entered at non-head block %d", l.ID, to)
+		}
+		rec, err := st.readSlot(l.HeaderSlot, nctx)
+		if err != nil {
+			return nil, err
+		}
+		nctx[l.ID] = rec
+	}
+	// Back edge: advance to the next record (RESTART_LOOP).
+	for _, id := range toChain {
+		l := st.loops[id]
+		if l.HeadBlock == to && inChain(fromChain, id) {
+			rec := nctx[id]
+			a := rec + int64(l.NextSlot)
+			if a < 0 || a >= int64(len(st.mem)) {
+				return nil, fmt.Errorf("stitch: record link out of bounds (%d)", a)
+			}
+			nctx[id] = st.mem[a]
+			st.stats.LoopIterations++
+			st.stats.CyclesModeled += costPerIter
+		}
+	}
+	return nctx, nil
+}
+
+// emitEdge emits (or reuses) the code for following edge e out of block
+// `from` and returns the target pc.
+func (st *stitch) emitEdge(from int, e tmpl.Edge, ctx map[int]int64) (int, error) {
+	if e.Block < 0 {
+		// Region exit: a transfer stub back into the enclosing function.
+		pc := st.add(vm.Inst{Op: vm.XFER, Target: e.ExitPC})
+		return pc, nil
+	}
+	nctx, err := st.transition(from, e.Block, ctx)
+	if err != nil {
+		return 0, err
+	}
+	return st.emitBlock(e.Block, nctx)
+}
+
+// emitBlock instantiates block bi under record context ctx (memoized).
+func (st *stitch) emitBlock(bi int, ctx map[int]int64) (int, error) {
+	key := st.ctxKey(bi, ctx)
+	if pc, ok := st.emitted[key]; ok {
+		return pc, nil
+	}
+	start := len(st.out)
+	st.emitted[key] = start
+	st.stats.CyclesModeled += costPerBlock
+
+	b := st.r.Blocks[bi]
+	holeAt := map[int]tmpl.Hole{}
+	for _, h := range b.Holes {
+		holeAt[h.Pc] = h
+	}
+	for pc, in := range b.Code {
+		if h, ok := holeAt[pc]; ok {
+			v, err := st.readSlot(h.Slot, ctx)
+			if err != nil {
+				return 0, err
+			}
+			st.patch(in, v)
+			st.stats.HolesPatched++
+			st.stats.CyclesModeled += costPerHole
+		} else {
+			st.add(in)
+		}
+	}
+
+	t := b.Term
+	switch t.Kind {
+	case tmpl.TermRet:
+		st.add(vm.Inst{Op: vm.RET})
+
+	case tmpl.TermJump:
+		brPC := st.add(vm.Inst{Op: vm.BR})
+		tpc, err := st.emitEdge(bi, t.Succs[0], ctx)
+		if err != nil {
+			return 0, err
+		}
+		st.out[brPC].Target = tpc
+
+	case tmpl.TermBr:
+		if t.ConstSlot != nil {
+			// CONST_BRANCH: resolve now; the untaken path is dead code.
+			v, err := st.readSlot(*t.ConstSlot, ctx)
+			if err != nil {
+				return 0, err
+			}
+			e := t.Succs[1]
+			if v != 0 {
+				e = t.Succs[0]
+			}
+			st.stats.BranchesResolved++
+			st.stats.CyclesModeled += costPerBranch
+			brPC := st.add(vm.Inst{Op: vm.BR})
+			tpc, err := st.emitEdge(bi, e, ctx)
+			if err != nil {
+				return 0, err
+			}
+			st.out[brPC].Target = tpc
+			break
+		}
+		bnezPC := st.add(vm.Inst{Op: vm.BNEZ, Rs: t.CondReg})
+		brPC := st.add(vm.Inst{Op: vm.BR})
+		fpc, err := st.emitEdge(bi, t.Succs[1], ctx)
+		if err != nil {
+			return 0, err
+		}
+		tpc, err := st.emitEdge(bi, t.Succs[0], ctx)
+		if err != nil {
+			return 0, err
+		}
+		st.out[bnezPC].Target = tpc
+		st.out[brPC].Target = fpc
+
+	case tmpl.TermSwitch:
+		v, err := st.readSlot(*t.ConstSlot, ctx)
+		if err != nil {
+			return 0, err
+		}
+		e := t.Succs[len(t.Cases)] // default
+		for i, c := range t.Cases {
+			if c == v {
+				e = t.Succs[i]
+				break
+			}
+		}
+		st.stats.BranchesResolved++
+		st.stats.CyclesModeled += costPerBranch
+		brPC := st.add(vm.Inst{Op: vm.BR})
+		tpc, err := st.emitEdge(bi, e, ctx)
+		if err != nil {
+			return 0, err
+		}
+		st.out[brPC].Target = tpc
+
+	default:
+		return 0, fmt.Errorf("stitch: unknown terminator kind %d", t.Kind)
+	}
+	return start, nil
+}

@@ -1,0 +1,90 @@
+package tmpl
+
+import (
+	"strings"
+	"testing"
+
+	"dyncc/internal/vm"
+)
+
+func TestSlotRefString(t *testing.T) {
+	if got := (SlotRef{LoopID: -1, Slot: 3}).String(); got != "3" {
+		t.Errorf("region slot: %q", got)
+	}
+	if got := (SlotRef{LoopID: 4, Slot: 1}).String(); got != "4:1" {
+		t.Errorf("loop slot: %q (want the paper's 4:1 notation)", got)
+	}
+}
+
+func sampleRegion() *Region {
+	return &Region{
+		Index: 0, Name: "f:r0", TableSize: 5,
+		Blocks: []*Block{
+			{
+				Code:   []vm.Inst{{Op: vm.UDIVI, Rd: 12, Rs: 13}},
+				Holes:  []Hole{{Pc: 0, Slot: SlotRef{LoopID: -1, Slot: 2}}},
+				Term:   Term{Kind: TermJump, Succs: []Edge{{Block: 1}}},
+				LoopID: -1,
+			},
+			{ // loop head
+				Term: Term{Kind: TermBr, ConstSlot: &SlotRef{LoopID: 0, Slot: 0},
+					Succs: []Edge{{Block: 2}, {Block: 3}}},
+				LoopID: 0,
+			},
+			{ // latch
+				Code:   []vm.Inst{{Op: vm.ADDI, Rd: 12, Rs: 12, Imm: 1}},
+				Term:   Term{Kind: TermJump, Succs: []Edge{{Block: 1}}},
+				LoopID: 0,
+			},
+			{
+				Term:   Term{Kind: TermRet},
+				LoopID: -1,
+			},
+		},
+		Loops: []*Loop{{
+			ID: 0, ParentID: -1,
+			HeaderSlot: SlotRef{LoopID: -1, Slot: 4},
+			NextSlot:   2, RecordSize: 3,
+			HeadBlock: 1, LatchBlock: 2,
+		}},
+		Entry: 0,
+	}
+}
+
+func TestDirectivesVocabulary(t *testing.T) {
+	r := sampleRegion()
+	ds := strings.Join(r.Directives(), "\n")
+	for _, kw := range []string{"START(", "END", "HOLE(", "CONST_BRANCH(",
+		"ENTER_LOOP(", "RESTART_LOOP(", "LABEL(", "RETURN("} {
+		if !strings.Contains(ds, kw) {
+			t.Errorf("directives missing %s:\n%s", kw, ds)
+		}
+	}
+	// The hole must render with its table index.
+	if !strings.Contains(ds, "HOLE(b0+0, 2)") {
+		t.Errorf("hole rendering:\n%s", ds)
+	}
+	// The constant branch must carry the paper's loop:slot notation.
+	if !strings.Contains(ds, "CONST_BRANCH(b1, 0:0)") {
+		t.Errorf("const branch rendering:\n%s", ds)
+	}
+}
+
+func TestTemplateInsts(t *testing.T) {
+	r := sampleRegion()
+	// 2 body instructions + 4 terminators.
+	if got := r.TemplateInsts(); got != 6 {
+		t.Errorf("TemplateInsts: %d", got)
+	}
+}
+
+func TestDumpIsStable(t *testing.T) {
+	r := sampleRegion()
+	a, b := r.Dump(), r.Dump()
+	if a != b {
+		t.Error("Dump is not deterministic")
+	}
+	if !strings.Contains(a, "table 5 words") {
+		t.Errorf("dump header: %s", a[:60])
+	}
+}

@@ -1,0 +1,206 @@
+// Package token defines the lexical tokens of MiniC, the C subset accepted
+// by the dynamic-compilation system, including the annotation keywords from
+// the paper (dynamicRegion, key, unrolled, dynamic).
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123, 0x1f
+	FLOAT  // 1.5, 2e10
+	CHAR   // 'a'
+	STRING // "abc"
+
+	// Operators and punctuation.
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	TILDE    // ~
+	BANG     // !
+	SHL      // <<
+	SHR      // >>
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	EQ       // ==
+	NE       // !=
+	ANDAND   // &&
+	OROR     // ||
+	ASSIGN   // =
+	ADDA     // +=
+	SUBA     // -=
+	MULA     // *=
+	DIVA     // /=
+	MODA     // %=
+	ANDA     // &=
+	ORA      // |=
+	XORA     // ^=
+	SHLA     // <<=
+	SHRA     // >>=
+	INC      // ++
+	DEC      // --
+	ARROW    // ->
+	DOT      // .
+	QUESTION // ?
+	COLON    // :
+	COMMA    // ,
+	SEMI     // ;
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACK   // [
+	RBRACK   // ]
+
+	// Keywords.
+	KwInt
+	KwUnsigned
+	KwFloat
+	KwDouble
+	KwChar
+	KwVoid
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwGoto
+	KwReturn
+	KwSizeof
+	KwTypedef
+	KwExtern
+	KwStatic
+	KwConst
+
+	// Annotation keywords (paper section 2).
+	KwDynamicRegion // dynamicRegion
+	KwKey           // key
+	KwUnrolled      // unrolled
+	KwDynamic       // dynamic (annotation on *, ->, [])
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL",
+	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", CHAR: "CHAR", STRING: "STRING",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", TILDE: "~", BANG: "!",
+	SHL: "<<", SHR: ">>", LT: "<", GT: ">", LE: "<=", GE: ">=",
+	EQ: "==", NE: "!=", ANDAND: "&&", OROR: "||",
+	ASSIGN: "=", ADDA: "+=", SUBA: "-=", MULA: "*=", DIVA: "/=", MODA: "%=",
+	ANDA: "&=", ORA: "|=", XORA: "^=", SHLA: "<<=", SHRA: ">>=",
+	INC: "++", DEC: "--", ARROW: "->", DOT: ".", QUESTION: "?", COLON: ":",
+	COMMA: ",", SEMI: ";", LPAREN: "(", RPAREN: ")",
+	LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	KwInt: "int", KwUnsigned: "unsigned", KwFloat: "float", KwDouble: "double",
+	KwChar: "char", KwVoid: "void", KwStruct: "struct",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwDo: "do", KwFor: "for",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwBreak: "break", KwContinue: "continue", KwGoto: "goto", KwReturn: "return",
+	KwSizeof: "sizeof", KwTypedef: "typedef", KwExtern: "extern",
+	KwStatic: "static", KwConst: "const",
+	KwDynamicRegion: "dynamicRegion", KwKey: "key",
+	KwUnrolled: "unrolled", KwDynamic: "dynamic",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps identifier spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"int": KwInt, "unsigned": KwUnsigned, "float": KwFloat, "double": KwDouble,
+	"char": KwChar, "void": KwVoid, "struct": KwStruct,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "do": KwDo, "for": KwFor,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault,
+	"break": KwBreak, "continue": KwContinue, "goto": KwGoto, "return": KwReturn,
+	"sizeof": KwSizeof, "typedef": KwTypedef, "extern": KwExtern,
+	"static": KwStatic, "const": KwConst,
+	"dynamicRegion": KwDynamicRegion, "key": KwKey,
+	"unrolled": KwUnrolled, "dynamic": KwDynamic,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT/INT/FLOAT/CHAR/STRING
+	Pos  Pos
+
+	IntVal   int64   // value for INT and CHAR
+	FloatVal float64 // value for FLOAT
+	StrVal   string  // decoded value for STRING
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT, CHAR, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsAssign reports whether k is an assignment operator (=, +=, ...).
+func (k Kind) IsAssign() bool { return k >= ASSIGN && k <= SHRA }
+
+// BinOpFor maps a compound-assignment operator to its underlying binary
+// operator kind (e.g. += to +). It panics on non-compound kinds.
+func BinOpFor(k Kind) Kind {
+	switch k {
+	case ADDA:
+		return PLUS
+	case SUBA:
+		return MINUS
+	case MULA:
+		return STAR
+	case DIVA:
+		return SLASH
+	case MODA:
+		return PERCENT
+	case ANDA:
+		return AMP
+	case ORA:
+		return PIPE
+	case XORA:
+		return CARET
+	case SHLA:
+		return SHL
+	case SHRA:
+		return SHR
+	}
+	panic("token: BinOpFor on non-compound assignment " + k.String())
+}

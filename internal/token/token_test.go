@@ -1,0 +1,59 @@
+package token
+
+import "testing"
+
+func TestBinOpFor(t *testing.T) {
+	cases := map[Kind]Kind{
+		ADDA: PLUS, SUBA: MINUS, MULA: STAR, DIVA: SLASH, MODA: PERCENT,
+		ANDA: AMP, ORA: PIPE, XORA: CARET, SHLA: SHL, SHRA: SHR,
+	}
+	for in, want := range cases {
+		if got := BinOpFor(in); got != want {
+			t.Errorf("BinOpFor(%s) = %s, want %s", in, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BinOpFor(PLUS) should panic")
+		}
+	}()
+	BinOpFor(PLUS)
+}
+
+func TestIsAssign(t *testing.T) {
+	for k := ASSIGN; k <= SHRA; k++ {
+		if !k.IsAssign() {
+			t.Errorf("%s should be an assignment op", k)
+		}
+	}
+	for _, k := range []Kind{PLUS, EQ, INC, LBRACE} {
+		if k.IsAssign() {
+			t.Errorf("%s should not be an assignment op", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KwDynamicRegion.String() != "dynamicRegion" {
+		t.Error("keyword name")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kinds must still render")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Text: "foo"}
+	if tok.String() != `IDENT("foo")` {
+		t.Errorf("got %s", tok)
+	}
+	if (Token{Kind: ARROW}).String() != "->" {
+		t.Error("operator token rendering")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if (Pos{Line: 3, Col: 7}).String() != "3:7" {
+		t.Error("pos rendering")
+	}
+}

@@ -1,0 +1,186 @@
+// Package types implements the MiniC type system with a word-oriented
+// layout: every scalar (int, unsigned, char, float, pointer) occupies one
+// 64-bit word of the virtual machine; struct and array sizes are word
+// counts. This mirrors a 64-bit RISC target closely enough for the paper's
+// optimizations (load elimination, pointer-scaled indexing, strength
+// reduction) while keeping address arithmetic simple.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the type kinds.
+type Kind int
+
+// Type kinds.
+const (
+	Void     Kind = iota
+	Int           // signed 64-bit
+	Unsigned      // unsigned 64-bit
+	Float         // IEEE float64
+	Pointer
+	Array
+	Struct
+	Func
+)
+
+// Type is a MiniC semantic type. Types are interned per-checker so they may
+// be compared with Same (structural) or pointer identity for structs.
+type Type struct {
+	Kind Kind
+	Elem *Type // Pointer, Array element
+	Len  int   // Array length (elements)
+
+	Name   string  // Struct name
+	Fields []Field // Struct fields, in declaration order
+	index  map[string]int
+
+	Params []*Type // Func parameter types
+	Ret    *Type   // Func return type
+}
+
+// Field is a struct member with its word offset.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int // in words
+}
+
+// Predefined scalar types.
+var (
+	VoidType     = &Type{Kind: Void}
+	IntType      = &Type{Kind: Int}
+	UnsignedType = &Type{Kind: Unsigned}
+	FloatType    = &Type{Kind: Float}
+)
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+
+// ArrayOf returns an array type of n elements of elem.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// NewStruct builds a struct type, assigning field offsets.
+func NewStruct(name string, fields []Field) *Type {
+	t := &Type{Kind: Struct, Name: name, index: map[string]int{}}
+	off := 0
+	for _, f := range fields {
+		f.Offset = off
+		t.index[f.Name] = len(t.Fields)
+		t.Fields = append(t.Fields, f)
+		off += f.Type.Size()
+	}
+	return t
+}
+
+// FuncType builds a function type.
+func FuncType(ret *Type, params []*Type) *Type {
+	return &Type{Kind: Func, Ret: ret, Params: params}
+}
+
+// FieldByName returns the field and true if present.
+func (t *Type) FieldByName(name string) (Field, bool) {
+	if t.Kind != Struct {
+		return Field{}, false
+	}
+	i, ok := t.index[name]
+	if !ok {
+		return Field{}, false
+	}
+	return t.Fields[i], true
+}
+
+// Size returns the size of the type in machine words.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Int, Unsigned, Float, Pointer:
+		return 1
+	case Array:
+		return t.Len * t.Elem.Size()
+	case Struct:
+		n := 0
+		for _, f := range t.Fields {
+			n += f.Type.Size()
+		}
+		return n
+	}
+	return 1
+}
+
+// IsInteger reports whether t is int or unsigned.
+func (t *Type) IsInteger() bool { return t.Kind == Int || t.Kind == Unsigned }
+
+// IsScalar reports whether t fits in a register.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case Int, Unsigned, Float, Pointer:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is the floating-point type.
+func (t *Type) IsFloat() bool { return t.Kind == Float }
+
+// Same reports structural type equality.
+func Same(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Pointer:
+		return Same(a.Elem, b.Elem)
+	case Array:
+		return a.Len == b.Len && Same(a.Elem, b.Elem)
+	case Struct:
+		return a.Name == b.Name
+	case Func:
+		if !Same(a.Ret, b.Ret) || len(a.Params) != len(b.Params) {
+			return false
+		}
+		for i := range a.Params {
+			if !Same(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Void:
+		return "void"
+	case Int:
+		return "int"
+	case Unsigned:
+		return "unsigned"
+	case Float:
+		return "float"
+	case Pointer:
+		return t.Elem.String() + "*"
+	case Array:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case Struct:
+		return "struct " + t.Name
+	case Func:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(ps, ", "))
+	}
+	return fmt.Sprintf("Kind(%d)", int(t.Kind))
+}

@@ -1,0 +1,104 @@
+package types
+
+import "testing"
+
+func TestScalarSizes(t *testing.T) {
+	for _, tt := range []struct {
+		typ  *Type
+		size int
+	}{
+		{IntType, 1}, {UnsignedType, 1}, {FloatType, 1},
+		{PointerTo(IntType), 1}, {VoidType, 0},
+	} {
+		if got := tt.typ.Size(); got != tt.size {
+			t.Errorf("%s: size %d, want %d", tt.typ, got, tt.size)
+		}
+	}
+}
+
+func TestArrayAndStructLayout(t *testing.T) {
+	arr := ArrayOf(IntType, 10)
+	if arr.Size() != 10 {
+		t.Errorf("array size: %d", arr.Size())
+	}
+	inner := NewStruct("Inner", []Field{
+		{Name: "a", Type: IntType},
+		{Name: "b", Type: FloatType},
+	})
+	outer := NewStruct("Outer", []Field{
+		{Name: "x", Type: inner},
+		{Name: "arr", Type: ArrayOf(IntType, 3)},
+		{Name: "p", Type: PointerTo(inner)},
+	})
+	if inner.Size() != 2 {
+		t.Errorf("inner size: %d", inner.Size())
+	}
+	if outer.Size() != 2+3+1 {
+		t.Errorf("outer size: %d", outer.Size())
+	}
+	f, ok := outer.FieldByName("arr")
+	if !ok || f.Offset != 2 {
+		t.Errorf("arr offset: %+v", f)
+	}
+	f, ok = outer.FieldByName("p")
+	if !ok || f.Offset != 5 {
+		t.Errorf("p offset: %+v", f)
+	}
+	if _, ok := outer.FieldByName("nope"); ok {
+		t.Error("found nonexistent field")
+	}
+}
+
+func TestSame(t *testing.T) {
+	if !Same(PointerTo(IntType), PointerTo(IntType)) {
+		t.Error("pointer types should match structurally")
+	}
+	if Same(PointerTo(IntType), PointerTo(FloatType)) {
+		t.Error("distinct pointee types should differ")
+	}
+	if !Same(ArrayOf(IntType, 4), ArrayOf(IntType, 4)) {
+		t.Error("equal arrays should match")
+	}
+	if Same(ArrayOf(IntType, 4), ArrayOf(IntType, 5)) {
+		t.Error("different lengths should differ")
+	}
+	s1 := NewStruct("S", []Field{{Name: "a", Type: IntType}})
+	s2 := NewStruct("S", []Field{{Name: "a", Type: IntType}})
+	if !Same(s1, s2) {
+		t.Error("same-named structs should match")
+	}
+	ft1 := FuncType(IntType, []*Type{IntType})
+	ft2 := FuncType(IntType, []*Type{FloatType})
+	if Same(ft1, ft2) {
+		t.Error("different param types should differ")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IntType.IsInteger() || !UnsignedType.IsInteger() || FloatType.IsInteger() {
+		t.Error("IsInteger")
+	}
+	if !FloatType.IsFloat() || IntType.IsFloat() {
+		t.Error("IsFloat")
+	}
+	if !PointerTo(IntType).IsScalar() || ArrayOf(IntType, 2).IsScalar() {
+		t.Error("IsScalar")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := NewStruct("Cache", nil)
+	for _, tt := range []struct {
+		typ  *Type
+		want string
+	}{
+		{IntType, "int"},
+		{PointerTo(PointerTo(FloatType)), "float**"},
+		{ArrayOf(IntType, 3), "int[3]"},
+		{s, "struct Cache"},
+	} {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("got %q want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package vm
+
+// Cycle cost model, mirroring the relative costs of the DEC Alpha 21064 the
+// paper evaluated on: multi-cycle loads, slow integer multiply and very
+// slow (software) integer divide. Absolute values are not calibrated — the
+// paper's experiments depend only on relative costs (a load costs more than
+// an ALU op; a multiply costs much more than a few shifts and adds).
+const (
+	CostALU    = 1  // moves, add/sub/logical/shift/compare
+	CostMul    = 16 // integer multiply (the 21064's MULQ is ~23 cycles)
+	CostDiv    = 35 // integer divide / modulus
+	CostFAdd   = 4  // FP add/sub/mul and conversions
+	CostFDiv   = 30 // FP divide
+	CostLoad   = 3
+	CostStore  = 2
+	CostBranch = 1 // +CostTaken when taken
+	CostJTBL   = 4 // jump-table dispatch (table load + indirect jump)
+	CostTaken  = 1
+	CostCall   = 4
+	CostRet    = 4
+	CostAlloc  = 10
+	CostHook   = 2 // DYNENTER/DYNSTITCH dispatch check
+)
+
+// Cost returns the base cycle cost of executing op (branch-taken and
+// oversized-immediate penalties are added by the interpreter).
+func Cost(op Op) uint64 {
+	switch op {
+	case NOP:
+		return 0
+	case MUL, MULI:
+		return CostMul
+	case DIV, UDIV, MOD, UMOD, DIVI, UDIVI, MODI, UMODI:
+		return CostDiv
+	case FADD, FSUB, FMUL, FNEG, FEQ, FNE, FLT, FLE, ITOF, FTOI:
+		return CostFAdd
+	case FDIV:
+		return CostFDiv
+	case LD, LDC:
+		return CostLoad
+	case ST:
+		return CostStore
+	case BEQZ, BNEZ, BEQI, BR, XFER:
+		return CostBranch
+	case JTBL:
+		return CostJTBL
+	case CALL:
+		return CostCall
+	case RET:
+		return CostRet
+	case ALLOC:
+		return CostAlloc
+	case DYNENTER, DYNSTITCH:
+		return CostHook
+	default:
+		return CostALU
+	}
+}

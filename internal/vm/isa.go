@@ -1,0 +1,321 @@
+// Package vm implements the execution substrate: a 64-register RISC virtual
+// machine with word-addressed memory and a per-opcode cycle cost model
+// calibrated to the relative costs of the paper's target (a DEC Alpha
+// 21064: slow integer multiply/divide, multi-cycle loads). Machine code for
+// this VM plays the role of Alpha machine code: the static compiler emits
+// templates of these instructions with holes, and the stitcher patches them
+// into executable code segments at run time.
+package vm
+
+import "fmt"
+
+// Reg is a machine register number.
+type Reg uint8
+
+// Register conventions.
+const (
+	RZero Reg = 0 // always zero
+	RSP   Reg = 1 // stack pointer (word address; grows down)
+	RRV   Reg = 2 // return value (survives RET)
+	RA0   Reg = 3 // first argument register; RA0..RA5
+	RA5   Reg = 8
+
+	// RAllocFirst..RAllocLast are allocatable by the register allocator.
+	RAllocFirst Reg = 9
+	RAllocLast  Reg = 47
+
+	RLCB      Reg = 48 // large-constant base (reserved for the stitcher)
+	RScratch  Reg = 49 // stitcher scratch register
+	RScratch2 Reg = 63 // second stitcher scratch (strength-reduction chains)
+
+	// RPromo0..RPromoLast are reserved for stitcher register actions
+	// (run-time promotion of array elements to registers, paper section 5).
+	RPromo0    Reg = 50
+	RPromoLast Reg = 62
+
+	NumRegs = 64
+	NumArgs = 6
+)
+
+// Op is a VM opcode.
+type Op uint8
+
+// VM opcodes.
+const (
+	NOP Op = iota
+
+	LI  // Rd = Imm
+	MOV // Rd = Rs
+
+	// Integer register-register ALU: Rd = Rs op Rt.
+	ADD
+	SUB
+	MUL
+	DIV  // signed; traps on zero divisor
+	UDIV // unsigned
+	MOD
+	UMOD
+	AND
+	OR
+	XOR
+	SHL
+	SHR  // arithmetic
+	SHRU // logical
+	SEQ
+	SNE
+	SLT
+	SLE
+	SLTU
+	SLEU
+	NEG // Rd = -Rs
+	NOT // Rd = ^Rs
+
+	// Integer register-immediate ALU: Rd = Rs op Imm.
+	ADDI
+	SUBI
+	MULI
+	DIVI
+	UDIVI
+	MODI
+	UMODI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+	SHRUI
+	SEQI
+	SNEI
+	SLTI
+	SLEI
+	SLTUI
+	SLEUI
+
+	// Floating point (register words hold IEEE-754 bits).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FEQ
+	FNE
+	FLT
+	FLE
+	ITOF
+	FTOI
+
+	// Memory.
+	LD    // Rd = Mem[Rs + Imm]
+	ST    // Mem[Rs + Imm] = Rt
+	LDC   // Rd = segment's linearized constant table [Imm] (stitcher-emitted)
+	ALLOC // Rd = heap-allocate Rs words (zeroed)
+
+	// Control.
+	BEQZ // if Rs == 0 goto Target
+	BNEZ // if Rs != 0 goto Target
+	BEQI // if Rs == Imm goto Target
+	BR   // goto Target
+	JTBL // indirect jump: pc = segment jump table[Imm][Rs]
+	CALL // call function Imm (host builtins are negative indices)
+	RET
+	XFER // transfer to Target in the segment's parent (stitched-code exit)
+	HALT
+
+	// Dynamic-region runtime hooks.
+	DYNENTER  // Imm = region index; dispatcher may transfer to stitched code
+	DYNSTITCH // Imm = region index; stitch now, then transfer to stitched code
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", LI: "li", MOV: "mov",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", UDIV: "udiv",
+	MOD: "mod", UMOD: "umod", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", SHRU: "shru",
+	SEQ: "seq", SNE: "sne", SLT: "slt", SLE: "sle", SLTU: "sltu", SLEU: "sleu",
+	NEG: "neg", NOT: "not",
+	ADDI: "addi", SUBI: "subi", MULI: "muli", DIVI: "divi", UDIVI: "udivi",
+	MODI: "modi", UMODI: "umodi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SHLI: "shli", SHRI: "shri", SHRUI: "shrui",
+	SEQI: "seqi", SNEI: "snei", SLTI: "slti", SLEI: "slei", SLTUI: "sltui", SLEUI: "sleui",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FNEG: "fneg",
+	FEQ: "feq", FNE: "fne", FLT: "flt", FLE: "fle",
+	ITOF: "itof", FTOI: "ftoi",
+	LD: "ld", ST: "st", LDC: "ldc", ALLOC: "alloc",
+	BEQZ: "beqz", BNEZ: "bnez", BEQI: "beqi", BR: "br", JTBL: "jtbl",
+	CALL: "call", RET: "ret", XFER: "xfer", HALT: "halt",
+	DYNENTER: "dynenter", DYNSTITCH: "dynstitch",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// HasImmOperand reports whether the op's Imm field is a value immediate
+// that a template hole may occupy (as opposed to an offset-only or id use).
+func (o Op) HasImmOperand() bool {
+	switch o {
+	case LI, ADDI, SUBI, MULI, DIVI, UDIVI, MODI, UMODI,
+		ANDI, ORI, XORI, SHLI, SHRI, SHRUI,
+		SEQI, SNEI, SLTI, SLEI, SLTUI, SLEUI, BEQI:
+		return true
+	}
+	return false
+}
+
+// RegToImmForm maps a register-register ALU op to its immediate form, or
+// NOP if none exists.
+func RegToImmForm(o Op) Op {
+	switch o {
+	case ADD:
+		return ADDI
+	case SUB:
+		return SUBI
+	case MUL:
+		return MULI
+	case DIV:
+		return DIVI
+	case UDIV:
+		return UDIVI
+	case MOD:
+		return MODI
+	case UMOD:
+		return UMODI
+	case AND:
+		return ANDI
+	case OR:
+		return ORI
+	case XOR:
+		return XORI
+	case SHL:
+		return SHLI
+	case SHR:
+		return SHRI
+	case SHRU:
+		return SHRUI
+	case SEQ:
+		return SEQI
+	case SNE:
+		return SNEI
+	case SLT:
+		return SLTI
+	case SLE:
+		return SLEI
+	case SLTU:
+		return SLTUI
+	case SLEU:
+		return SLEUI
+	}
+	return NOP
+}
+
+// ImmToRegForm maps an immediate ALU op back to its register form.
+func ImmToRegForm(o Op) Op {
+	switch o {
+	case ADDI:
+		return ADD
+	case SUBI:
+		return SUB
+	case MULI:
+		return MUL
+	case DIVI:
+		return DIV
+	case UDIVI:
+		return UDIV
+	case MODI:
+		return MOD
+	case UMODI:
+		return UMOD
+	case ANDI:
+		return AND
+	case ORI:
+		return OR
+	case XORI:
+		return XOR
+	case SHLI:
+		return SHL
+	case SHRI:
+		return SHR
+	case SHRUI:
+		return SHRU
+	case SEQI:
+		return SEQ
+	case SNEI:
+		return SNE
+	case SLTI:
+		return SLT
+	case SLEI:
+		return SLE
+	case SLTUI:
+		return SLTU
+	case SLEUI:
+		return SLEU
+	}
+	return NOP
+}
+
+// Inst is one machine instruction.
+type Inst struct {
+	Op     Op
+	Rd     Reg
+	Rs     Reg
+	Rt     Reg
+	Imm    int64 // immediate value, memory offset, function or region index
+	Target int   // branch target: instruction index within the segment
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	r := func(x Reg) string { return fmt.Sprintf("r%d", x) }
+	switch i.Op {
+	case NOP, RET, HALT:
+		return i.Op.String()
+	case LI:
+		return fmt.Sprintf("li %s, %d", r(i.Rd), i.Imm)
+	case MOV, NEG, NOT, FNEG, ITOF, FTOI:
+		return fmt.Sprintf("%s %s, %s", i.Op, r(i.Rd), r(i.Rs))
+	case LD:
+		return fmt.Sprintf("ld %s, [%s+%d]", r(i.Rd), r(i.Rs), i.Imm)
+	case ST:
+		return fmt.Sprintf("st [%s+%d], %s", r(i.Rs), i.Imm, r(i.Rt))
+	case LDC:
+		return fmt.Sprintf("ldc %s, [%d]", r(i.Rd), i.Imm)
+	case ALLOC:
+		return fmt.Sprintf("alloc %s, %s", r(i.Rd), r(i.Rs))
+	case BEQZ, BNEZ:
+		return fmt.Sprintf("%s %s, @%d", i.Op, r(i.Rs), i.Target)
+	case BEQI:
+		return fmt.Sprintf("beqi %s, %d, @%d", r(i.Rs), i.Imm, i.Target)
+	case BR:
+		return fmt.Sprintf("br @%d", i.Target)
+	case JTBL:
+		return fmt.Sprintf("jtbl %s, table%d", r(i.Rs), i.Imm)
+	case XFER:
+		return fmt.Sprintf("xfer @%d", i.Target)
+	case CALL:
+		return fmt.Sprintf("call f%d", i.Imm)
+	case DYNENTER, DYNSTITCH:
+		return fmt.Sprintf("%s region%d", i.Op, i.Imm)
+	}
+	if i.Op.HasImmOperand() {
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Rs), i.Imm)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", i.Op, r(i.Rd), r(i.Rs), r(i.Rt))
+}
+
+// ImmBits is the modeled width of machine immediate fields. Integer hole
+// values outside this range cannot be patched directly; the stitcher
+// rewrites the instruction to load from the linearized large-constant table
+// (paper section 4).
+const ImmBits = 16
+
+// FitsImm reports whether v fits the modeled immediate field.
+func FitsImm(v int64) bool {
+	const lim = int64(1) << (ImmBits - 1)
+	return v >= -lim && v < lim
+}

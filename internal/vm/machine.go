@@ -1,0 +1,565 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// RegionCounters accumulates per-region measurements: everything the
+// paper's Table 2 needs.
+type RegionCounters struct {
+	Invocations   uint64
+	ExecCycles    uint64 // cycles in region code (stitched or static)
+	SetupCycles   uint64 // cycles in set-up code (dynamic-compile overhead)
+	StitchCycles  uint64 // modeled stitcher cost (added by the runtime)
+	StitchedInsts uint64 // instructions emitted by the stitcher
+	Compiles      uint64 // distinct stitched versions produced
+}
+
+// Overhead returns the total dynamic-compilation overhead in cycles.
+func (rc *RegionCounters) Overhead() uint64 { return rc.SetupCycles + rc.StitchCycles }
+
+// Machine executes a Program.
+type Machine struct {
+	Prog *Program
+	Mem  []int64
+	Regs [NumRegs]int64
+
+	Cycles  uint64
+	Insts   uint64
+	regions []RegionCounters
+
+	// MaxCycles aborts runaway executions.
+	MaxCycles uint64
+
+	Output io.Writer
+
+	// Trace, when non-nil, receives one line per executed instruction
+	// (segment, pc, disassembly, input register values).
+	Trace io.Writer
+
+	// Runtime hooks for dynamic regions (wired by the rtr package).
+	// Returning a nil segment from OnDynEnter means "not compiled yet":
+	// control falls through into the inline set-up code.
+	OnDynEnter  func(m *Machine, region int) (*Segment, int, error)
+	OnDynStitch func(m *Machine, region int) (*Segment, int, error)
+
+	// OnReset is called by Reset: the runtime invalidates this machine's
+	// stitched-code cache (the memory holding its tables is being wiped).
+	OnReset func(m *Machine)
+
+	hp     int64 // heap pointer (bump allocator)
+	frames []frame
+}
+
+type frame struct {
+	regs [NumRegs]int64
+	seg  *Segment
+	pc   int
+}
+
+// NewMachine creates a machine with the given memory size in words
+// (0 picks a 4M-word default).
+func NewMachine(p *Program, memWords int) *Machine {
+	if memWords <= 0 {
+		memWords = 1 << 22
+	}
+	m := &Machine{
+		Prog:      p,
+		Mem:       make([]int64, memWords),
+		MaxCycles: 200e9,
+		regions:   make([]RegionCounters, p.NumRegions),
+	}
+	m.Reset()
+	return m
+}
+
+// Reset restores the initial memory image and clears registers. Region
+// counters are preserved; use ResetCounters to clear them.
+func (m *Machine) Reset() {
+	if m.OnReset != nil {
+		m.OnReset(m)
+	}
+	for i := range m.Mem {
+		m.Mem[i] = 0
+	}
+	copy(m.Mem, m.Prog.GlobalInit)
+	m.hp = int64(m.Prog.GlobalWords)
+	m.Regs = [NumRegs]int64{}
+	m.Regs[RSP] = int64(len(m.Mem))
+	m.frames = m.frames[:0]
+}
+
+// ResetCounters zeroes cycle counts and region statistics.
+func (m *Machine) ResetCounters() {
+	m.Cycles, m.Insts = 0, 0
+	for i := range m.regions {
+		m.regions[i] = RegionCounters{}
+	}
+}
+
+// Region returns the counters for region index r.
+func (m *Machine) Region(r int) *RegionCounters {
+	for r >= len(m.regions) {
+		m.regions = append(m.regions, RegionCounters{})
+	}
+	return &m.regions[r]
+}
+
+// Alloc reserves n zeroed words on the heap and returns their address.
+// It is exported so harness code can build input data structures directly.
+func (m *Machine) Alloc(n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("vm: alloc of negative size %d", n)
+	}
+	a := m.hp
+	m.hp += n
+	if m.hp > m.Regs[RSP] {
+		return 0, fmt.Errorf("vm: heap (%d) collided with stack (%d)", m.hp, m.Regs[RSP])
+	}
+	return a, nil
+}
+
+type vmError struct {
+	seg *Segment
+	pc  int
+	msg string
+}
+
+func (e *vmError) Error() string {
+	return fmt.Sprintf("vm: %s at %s+%d", e.msg, e.seg.Name, e.pc)
+}
+
+// Call runs function name with the given arguments and returns RRV.
+func (m *Machine) Call(name string, args ...int64) (int64, error) {
+	id := m.Prog.FuncID(name)
+	if id < 0 {
+		return 0, fmt.Errorf("vm: no function %q", name)
+	}
+	if len(args) > NumArgs {
+		return 0, fmt.Errorf("vm: too many arguments (%d > %d)", len(args), NumArgs)
+	}
+	for i, a := range args {
+		m.Regs[RA0+Reg(i)] = a
+	}
+	// A top-level call behaves like a register window too: the stack
+	// pointer (and everything else except the result) is restored, so
+	// repeated calls do not leak stack space.
+	saved := m.Regs
+	v, err := m.run(m.Prog.Segs[id])
+	rv := m.Regs[RRV]
+	m.Regs = saved
+	m.Regs[RRV] = rv
+	return v, err
+}
+
+// CallF is Call for a float argument list and float result.
+func (m *Machine) CallF(name string, args ...float64) (float64, error) {
+	ia := make([]int64, len(args))
+	for i, a := range args {
+		ia[i] = int64(math.Float64bits(a))
+	}
+	r, err := m.Call(name, ia...)
+	return math.Float64frombits(uint64(r)), err
+}
+
+func (m *Machine) run(seg *Segment) (int64, error) {
+	pc := 0
+	baseFrames := len(m.frames)
+	fail := func(format string, args ...any) (int64, error) {
+		return 0, &vmError{seg: seg, pc: pc, msg: fmt.Sprintf(format, args...)}
+	}
+
+	for {
+		if pc < 0 || pc >= len(seg.Code) {
+			return fail("pc out of range (%d/%d)", pc, len(seg.Code))
+		}
+		in := &seg.Code[pc]
+		c := Cost(in.Op)
+
+		// Attribute cycles.
+		m.Insts++
+		if seg.Stitched && seg.Region >= 0 {
+			m.Region(seg.Region).ExecCycles += c
+		} else if seg.RegionOf != nil && seg.RegionOf[pc] >= 0 {
+			rc := m.Region(int(seg.RegionOf[pc]))
+			if seg.SetupOf != nil && seg.SetupOf[pc] {
+				rc.SetupCycles += c
+			} else {
+				rc.ExecCycles += c
+			}
+		}
+		if seg.RegionEntryAt != nil {
+			if r, ok := seg.RegionEntryAt[pc]; ok {
+				m.Region(r).Invocations++
+			}
+		}
+		m.Cycles += c
+		if m.Cycles > m.MaxCycles {
+			return fail("cycle budget exhausted (%d)", m.MaxCycles)
+		}
+
+		taken := func() {
+			m.Cycles += CostTaken
+			if seg.Stitched && seg.Region >= 0 {
+				m.Region(seg.Region).ExecCycles += CostTaken
+			} else if seg.RegionOf != nil && seg.RegionOf[pc] >= 0 {
+				rc := m.Region(int(seg.RegionOf[pc]))
+				if seg.SetupOf != nil && seg.SetupOf[pc] {
+					rc.SetupCycles += CostTaken
+				} else {
+					rc.ExecCycles += CostTaken
+				}
+			}
+		}
+
+		if m.Trace != nil {
+			fmt.Fprintf(m.Trace, "%-20s %4d: %-28s rd=%d rs=%d rt=%d\n",
+				seg.Name, pc, in.String(), m.Regs[in.Rd], m.Regs[in.Rs], m.Regs[in.Rt])
+		}
+
+		rs, rt := m.Regs[in.Rs], m.Regs[in.Rt]
+		setRd := func(v int64) {
+			if in.Rd != RZero {
+				m.Regs[in.Rd] = v
+			}
+		}
+
+		switch in.Op {
+		case NOP:
+		case LI:
+			setRd(in.Imm)
+			if !FitsImm(in.Imm) {
+				m.Cycles++ // wide-constant materialization penalty
+			}
+		case MOV:
+			setRd(rs)
+		case ADD:
+			setRd(rs + rt)
+		case SUB:
+			setRd(rs - rt)
+		case MUL:
+			setRd(rs * rt)
+		case DIV:
+			if rt == 0 {
+				return fail("integer divide by zero")
+			}
+			setRd(rs / rt)
+		case UDIV:
+			if rt == 0 {
+				return fail("integer divide by zero")
+			}
+			setRd(int64(uint64(rs) / uint64(rt)))
+		case MOD:
+			if rt == 0 {
+				return fail("integer modulus by zero")
+			}
+			setRd(rs % rt)
+		case UMOD:
+			if rt == 0 {
+				return fail("integer modulus by zero")
+			}
+			setRd(int64(uint64(rs) % uint64(rt)))
+		case AND:
+			setRd(rs & rt)
+		case OR:
+			setRd(rs | rt)
+		case XOR:
+			setRd(rs ^ rt)
+		case SHL:
+			setRd(rs << uint64(rt&63))
+		case SHR:
+			setRd(rs >> uint64(rt&63))
+		case SHRU:
+			setRd(int64(uint64(rs) >> uint64(rt&63)))
+		case SEQ:
+			setRd(b2i(rs == rt))
+		case SNE:
+			setRd(b2i(rs != rt))
+		case SLT:
+			setRd(b2i(rs < rt))
+		case SLE:
+			setRd(b2i(rs <= rt))
+		case SLTU:
+			setRd(b2i(uint64(rs) < uint64(rt)))
+		case SLEU:
+			setRd(b2i(uint64(rs) <= uint64(rt)))
+		case NEG:
+			setRd(-rs)
+		case NOT:
+			setRd(^rs)
+
+		case ADDI:
+			setRd(rs + in.Imm)
+		case SUBI:
+			setRd(rs - in.Imm)
+		case MULI:
+			setRd(rs * in.Imm)
+		case DIVI:
+			if in.Imm == 0 {
+				return fail("integer divide by zero")
+			}
+			setRd(rs / in.Imm)
+		case UDIVI:
+			if in.Imm == 0 {
+				return fail("integer divide by zero")
+			}
+			setRd(int64(uint64(rs) / uint64(in.Imm)))
+		case MODI:
+			if in.Imm == 0 {
+				return fail("integer modulus by zero")
+			}
+			setRd(rs % in.Imm)
+		case UMODI:
+			if in.Imm == 0 {
+				return fail("integer modulus by zero")
+			}
+			setRd(int64(uint64(rs) % uint64(in.Imm)))
+		case ANDI:
+			setRd(rs & in.Imm)
+		case ORI:
+			setRd(rs | in.Imm)
+		case XORI:
+			setRd(rs ^ in.Imm)
+		case SHLI:
+			setRd(rs << uint64(in.Imm&63))
+		case SHRI:
+			setRd(rs >> uint64(in.Imm&63))
+		case SHRUI:
+			setRd(int64(uint64(rs) >> uint64(in.Imm&63)))
+		case SEQI:
+			setRd(b2i(rs == in.Imm))
+		case SNEI:
+			setRd(b2i(rs != in.Imm))
+		case SLTI:
+			setRd(b2i(rs < in.Imm))
+		case SLEI:
+			setRd(b2i(rs <= in.Imm))
+		case SLTUI:
+			setRd(b2i(uint64(rs) < uint64(in.Imm)))
+		case SLEUI:
+			setRd(b2i(uint64(rs) <= uint64(in.Imm)))
+
+		case FADD:
+			setRd(fop(rs, rt, func(a, b float64) float64 { return a + b }))
+		case FSUB:
+			setRd(fop(rs, rt, func(a, b float64) float64 { return a - b }))
+		case FMUL:
+			setRd(fop(rs, rt, func(a, b float64) float64 { return a * b }))
+		case FDIV:
+			setRd(fop(rs, rt, func(a, b float64) float64 { return a / b }))
+		case FNEG:
+			setRd(int64(math.Float64bits(-f64(rs))))
+		case FEQ:
+			setRd(b2i(f64(rs) == f64(rt)))
+		case FNE:
+			setRd(b2i(f64(rs) != f64(rt)))
+		case FLT:
+			setRd(b2i(f64(rs) < f64(rt)))
+		case FLE:
+			setRd(b2i(f64(rs) <= f64(rt)))
+		case ITOF:
+			setRd(int64(math.Float64bits(float64(rs))))
+		case FTOI:
+			setRd(int64(f64(rs)))
+
+		case LD:
+			a := rs + in.Imm
+			if a < 0 || a >= int64(len(m.Mem)) {
+				return fail("load out of bounds: %d", a)
+			}
+			setRd(m.Mem[a])
+		case ST:
+			a := rs + in.Imm
+			if a < 0 || a >= int64(len(m.Mem)) {
+				return fail("store out of bounds: %d", a)
+			}
+			m.Mem[a] = rt
+		case LDC:
+			if in.Imm < 0 || in.Imm >= int64(len(seg.Consts)) {
+				return fail("ldc out of bounds: %d/%d", in.Imm, len(seg.Consts))
+			}
+			setRd(seg.Consts[in.Imm])
+		case ALLOC:
+			a, err := m.Alloc(rs)
+			if err != nil {
+				return fail("%v", err)
+			}
+			setRd(a)
+
+		case BEQZ:
+			if rs == 0 {
+				taken()
+				pc = in.Target
+				continue
+			}
+		case BNEZ:
+			if rs != 0 {
+				taken()
+				pc = in.Target
+				continue
+			}
+		case BEQI:
+			if rs == in.Imm {
+				taken()
+				pc = in.Target
+				continue
+			}
+		case BR:
+			taken()
+			pc = in.Target
+			continue
+		case JTBL:
+			ti := int(in.Imm)
+			if ti < 0 || ti >= len(seg.JumpTables) {
+				return fail("jump table %d out of range", ti)
+			}
+			tbl := seg.JumpTables[ti]
+			if rs < 0 || rs >= int64(len(tbl)) {
+				return fail("jump table index %d out of range (%d)", rs, len(tbl))
+			}
+			pc = tbl[rs]
+			continue
+		case XFER:
+			if seg.Parent == nil {
+				return fail("xfer from segment without parent")
+			}
+			taken()
+			seg = seg.Parent
+			pc = in.Target
+			fail = func(format string, args ...any) (int64, error) {
+				return 0, &vmError{seg: seg, pc: pc, msg: fmt.Sprintf(format, args...)}
+			}
+			continue
+
+		case CALL:
+			if in.Imm < 0 {
+				if err := m.builtin(int(-in.Imm - 1)); err != nil {
+					return fail("%v", err)
+				}
+				break
+			}
+			if int(in.Imm) >= len(m.Prog.Segs) {
+				return fail("call to unknown function %d", in.Imm)
+			}
+			m.frames = append(m.frames, frame{regs: m.Regs, seg: seg, pc: pc + 1})
+			seg = m.Prog.Segs[in.Imm]
+			pc = 0
+			continue
+		case RET:
+			if len(m.frames) == baseFrames {
+				return m.Regs[RRV], nil
+			}
+			fr := m.frames[len(m.frames)-1]
+			m.frames = m.frames[:len(m.frames)-1]
+			rv := m.Regs[RRV]
+			m.Regs = fr.regs
+			m.Regs[RRV] = rv
+			seg, pc = fr.seg, fr.pc
+			continue
+		case HALT:
+			return m.Regs[RRV], nil
+
+		case DYNENTER:
+			m.Region(int(in.Imm)).Invocations++
+			if m.OnDynEnter == nil {
+				return fail("dynenter without runtime")
+			}
+			ns, npc, err := m.OnDynEnter(m, int(in.Imm))
+			if err != nil {
+				return fail("%v", err)
+			}
+			if ns != nil {
+				seg, pc = ns, npc
+				continue
+			}
+			// Not yet compiled: fall through into inline set-up code.
+		case DYNSTITCH:
+			if m.OnDynStitch == nil {
+				return fail("dynstitch without runtime")
+			}
+			ns, npc, err := m.OnDynStitch(m, int(in.Imm))
+			if err != nil {
+				return fail("%v", err)
+			}
+			seg, pc = ns, npc
+			continue
+
+		default:
+			return fail("illegal opcode %d", in.Op)
+		}
+		pc++
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func f64(v int64) float64 { return math.Float64frombits(uint64(v)) }
+
+func fop(a, b int64, f func(float64, float64) float64) int64 {
+	return int64(math.Float64bits(f(f64(a), f64(b))))
+}
+
+// builtin executes host intrinsic id (arguments in RA0..; result in RRV).
+func (m *Machine) builtin(id int) error {
+	a0 := m.Regs[RA0]
+	a1 := m.Regs[RA0+1]
+	switch BuiltinNames[id] {
+	case "print_int":
+		if m.Output != nil {
+			fmt.Fprintf(m.Output, "%d\n", a0)
+		}
+	case "print_float":
+		if m.Output != nil {
+			fmt.Fprintf(m.Output, "%g\n", f64(a0))
+		}
+	case "print_str":
+		if m.Output != nil {
+			var bs []byte
+			for a := a0; a >= 0 && a < int64(len(m.Mem)) && m.Mem[a] != 0; a++ {
+				bs = append(bs, byte(m.Mem[a]))
+			}
+			fmt.Fprintf(m.Output, "%s\n", bs)
+		}
+	case "alloc":
+		a, err := m.Alloc(a0)
+		if err != nil {
+			return err
+		}
+		m.Regs[RRV] = a
+		m.Cycles += CostAlloc
+	case "abs":
+		if a0 < 0 {
+			a0 = -a0
+		}
+		m.Regs[RRV] = a0
+	case "min":
+		if a1 < a0 {
+			a0 = a1
+		}
+		m.Regs[RRV] = a0
+	case "max":
+		if a1 > a0 {
+			a0 = a1
+		}
+		m.Regs[RRV] = a0
+	case "cos":
+		m.Regs[RRV] = int64(math.Float64bits(math.Cos(f64(a0))))
+		m.Cycles += 20
+	case "sin":
+		m.Regs[RRV] = int64(math.Float64bits(math.Sin(f64(a0))))
+		m.Cycles += 20
+	case "sqrt":
+		m.Regs[RRV] = int64(math.Float64bits(math.Sqrt(f64(a0))))
+		m.Cycles += 20
+	default:
+		return fmt.Errorf("unknown builtin %d", id)
+	}
+	return nil
+}

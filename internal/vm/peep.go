@@ -1,0 +1,89 @@
+package vm
+
+// DeadWriteNops replaces pure register writes that are provably dead with
+// NOPs: the destination is redefined before any read, with no intervening
+// control-flow boundary (branch target, branch, call, or segment exit).
+// Callers strip the NOPs afterwards. This mops up the constant
+// materializations left behind once literal operands are folded into
+// immediate instruction forms.
+func DeadWriteNops(code []Inst) int {
+	target := make([]bool, len(code)+1)
+	for _, in := range code {
+		switch in.Op {
+		case BEQZ, BNEZ, BEQI, BR:
+			if in.Target >= 0 && in.Target < len(target) {
+				target[in.Target] = true
+			}
+		}
+	}
+	reads := func(in Inst, r Reg) bool {
+		if r == RZero {
+			return false
+		}
+		switch in.Op {
+		case LI, LDC, BR, RET, XFER, NOP, HALT, JTBL:
+			return in.Op == JTBL && in.Rs == r
+		case ST:
+			return in.Rs == r || in.Rt == r
+		case BEQZ, BNEZ, BEQI:
+			return in.Rs == r
+		case MOV, NEG, NOT, FNEG, ITOF, FTOI, LD, ALLOC:
+			return in.Rs == r
+		case CALL, DYNENTER, DYNSTITCH:
+			return true // conservatively reads everything
+		}
+		if in.Op.HasImmOperand() {
+			return in.Rs == r
+		}
+		return in.Rs == r || in.Rt == r
+	}
+	pureWrite := func(in Inst) bool {
+		switch in.Op {
+		case LI, MOV, NEG, NOT, FNEG, ITOF, FTOI,
+			ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, SHRU,
+			SEQ, SNE, SLT, SLE, SLTU, SLEU,
+			ADDI, SUBI, MULI, ANDI, ORI, XORI, SHLI, SHRI, SHRUI,
+			SEQI, SNEI, SLTI, SLEI, SLTUI, SLEUI,
+			FADD, FSUB, FMUL:
+			return true
+		}
+		return false
+	}
+	writes := func(in Inst, r Reg) bool {
+		switch in.Op {
+		case ST, BEQZ, BNEZ, BEQI, BR, RET, XFER, NOP, HALT, JTBL:
+			return false
+		}
+		return in.Rd == r
+	}
+	n := 0
+	for i, in := range code {
+		if !pureWrite(in) || in.Rd == RZero || in.Rd == RSP || in.Rd == RRV {
+			continue
+		}
+		rd := in.Rd
+		dead := false
+		for j := i + 1; j < len(code); j++ {
+			if target[j] {
+				break // another path may read rd
+			}
+			cj := code[j]
+			if reads(cj, rd) {
+				break
+			}
+			if writes(cj, rd) {
+				dead = true
+				break
+			}
+			switch cj.Op {
+			case BR, BEQZ, BNEZ, BEQI, JTBL, RET, XFER, CALL, DYNENTER, DYNSTITCH:
+				j = len(code) // control leaves the span; be conservative
+			}
+		}
+		if dead {
+			code[i] = Inst{Op: NOP}
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package vm
+
+import "fmt"
+
+// Segment is an executable sequence of instructions: either a compiled
+// function or a run-time stitched code segment belonging to a function.
+type Segment struct {
+	Name      string
+	Code      []Inst
+	Consts    []int64  // linearized large-constant table (stitched segments)
+	Parent    *Segment // owning function, for stitched segments
+	Region    int      // region index this segment belongs to, or -1
+	Stitched  bool
+	FrameSize int // words of stack frame (function segments)
+	NumParams int
+
+	// JumpTables holds indirect-branch targets for JTBL instructions.
+	JumpTables [][]int
+
+	// Static-build instrumentation: per-pc region attribution.
+	RegionOf []int16 // region index at each pc, or -1
+	SetupOf  []bool  // pc belongs to set-up code (overhead, not execution)
+
+	// RegionEntryAt counts region invocations in statically compiled code:
+	// executing one of these pcs increments the region's invocation count.
+	RegionEntryAt map[int]int
+}
+
+// Disasm renders the segment as assembly.
+func (s *Segment) Disasm() string {
+	out := ""
+	for i, in := range s.Code {
+		out += fmt.Sprintf("%4d: %s\n", i, in)
+	}
+	return out
+}
+
+// Program is a complete executable image.
+type Program struct {
+	Segs        []*Segment // function segments; index = function id
+	FuncIndex   map[string]int
+	GlobalInit  []int64 // initial globals image (GlobalWords long)
+	GlobalWords int
+	NumRegions  int
+}
+
+// FuncID returns the function index for name, or -1.
+func (p *Program) FuncID(name string) int {
+	if i, ok := p.FuncIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Builtin host functions callable via CALL with negative indices
+// (id i is encoded as Imm = -(i+1)).
+var BuiltinNames = []string{
+	"print_int", "print_float", "print_str", "alloc",
+	"abs", "min", "max", "cos", "sin", "sqrt",
+}
+
+// BuiltinIndex maps builtin names to their ids.
+var BuiltinIndex = func() map[string]int {
+	m := map[string]int{}
+	for i, n := range BuiltinNames {
+		m[n] = i
+	}
+	return m
+}()

@@ -1,0 +1,246 @@
+package dyncc
+
+import "testing"
+
+// Additional MiniC semantics coverage, each checked in static, dynamic and
+// unoptimized-dynamic modes via bothWays.
+
+func TestMultiDimensionalArrays(t *testing.T) {
+	bothWays(t, `
+int f(int c, int x) {
+    int m[3][4];
+    int i, j;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            m[i][j] = i * 10 + j;
+    int s = 0;
+    dynamicRegion (c) {
+        s = m[1][2] + m[2][3] * c + x;
+    }
+    return s;
+}`, "f", 12+23*5+7, 5, 7)
+}
+
+func TestArraysOfStructs(t *testing.T) {
+	bothWays(t, `
+struct Pair { int a; int b; };
+int f(int c, int x) {
+    struct Pair ps[4];
+    int i;
+    for (i = 0; i < 4; i++) {
+        ps[i].a = i;
+        ps[i].b = i * x;
+    }
+    return ps[2].a + ps[3].b;
+}`, "f", 2+3*9, 1, 9)
+}
+
+func TestPreIncrementAndCompound(t *testing.T) {
+	bothWays(t, `
+int f(int c, int x) {
+    int a = x;
+    ++a;
+    a <<= 2;
+    a |= 1;
+    a -= c;
+    --a;
+    return a;
+}`, "f", ((10+1)<<2|1)-3-1, 3, 10)
+}
+
+func TestCommaOperator(t *testing.T) {
+	bothWays(t, `
+int f(int c, int x) {
+    int a = (x++, x + c);
+    return a + x;
+}`, "f", (10+1+3)+(10+1), 3, 10)
+}
+
+func TestFloatIntConversions(t *testing.T) {
+	bothWays(t, `
+int f(int c, int x) {
+    float fx = (float)x / 4.0;
+    int i = (int)(fx * 10.0);
+    float g = (float)c + 0.5;
+    return i + (int)g;
+}`, "f", 17+3, 3, 7)
+}
+
+func TestUnsignedWrapAround(t *testing.T) {
+	bothWays(t, `
+unsigned f(unsigned c, unsigned x) {
+    unsigned big = 0 - 1;      /* max unsigned */
+    return (big / x) % 1000 + c;
+}`, "f", int64(uint64(0xFFFFFFFFFFFFFFFF)/7%1000)+2, 2, 7)
+}
+
+func TestNestedCallsInRegion(t *testing.T) {
+	bothWays(t, `
+int helper(int a, int b) { return a * 2 + b; }
+int f(int c, int x) {
+    int r;
+    dynamicRegion (c) {
+        r = helper(helper(c, x), x);
+    }
+    return r;
+}`, "f", ((3*2+9)*2 + 9), 3, 9)
+}
+
+func TestPureBuiltinsInRegion(t *testing.T) {
+	bothWays(t, `
+int f(int c, int x) {
+    int r;
+    dynamicRegion (c) {
+        int hi = max(c, 100);   /* derived run-time constant */
+        int lo = min(c, 100);
+        r = hi * 1000 + lo + abs(0 - x);
+    }
+    return r;
+}`, "f", 100*1000+42+17, 42, 17)
+}
+
+func TestBreakOutOfUnrolledLoop(t *testing.T) {
+	src := `
+int f(int *a, int n, int x) {
+    int found = -1;
+    dynamicRegion (a, n) {
+        int i;
+        unrolled for (i = 0; i < n; i++) {
+            if (a dynamic[i] == x) { found = i; break; }
+        }
+    }
+    return found;
+}`
+	for _, cfg := range []Config{{Dynamic: false, Optimize: true}, {Dynamic: true, Optimize: true}} {
+		p, err := Compile(src, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		m := p.NewMachine(0)
+		addr, _ := m.Alloc(4)
+		for i, v := range []int64{5, 6, 7, 8} {
+			m.Mem()[addr+int64(i)] = v
+		}
+		for needle, want := range map[int64]int64{7: 2, 5: 0, 99: -1} {
+			got, err := m.Call("f", addr, 4, needle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%+v: f(%d) = %d, want %d", cfg, needle, got, want)
+			}
+		}
+	}
+}
+
+func TestContinueInUnrolledLoop(t *testing.T) {
+	src := `
+int f(int *a, int n, int x) {
+    int s = 0;
+    dynamicRegion (a, n) {
+        int i;
+        unrolled for (i = 0; i < n; i++) {
+            if (a[i] < 0) continue;   /* constant branch: folded at stitch */
+            s = s + a dynamic[i] * x;
+        }
+    }
+    return s;
+}`
+	for _, cfg := range []Config{{Dynamic: false, Optimize: true}, {Dynamic: true, Optimize: true}} {
+		p, err := Compile(src, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		m := p.NewMachine(0)
+		addr, _ := m.Alloc(5)
+		vals := []int64{3, -1, 4, -2, 5}
+		for i, v := range vals {
+			m.Mem()[addr+int64(i)] = v
+		}
+		got, err := m.Call("f", addr, 5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64((3 + 4 + 5) * 10); got != want {
+			t.Errorf("%+v: got %d want %d", cfg, got, want)
+		}
+	}
+}
+
+func TestGlobalsAcrossRegionInvocations(t *testing.T) {
+	src := `
+int hits = 0;
+int f(int c, int x) {
+    dynamicRegion (c) {
+        hits = hits + 1;       /* global mutated inside region */
+        return hits * c + x;
+    }
+    return -1;
+}`
+	p, err := CompileDynamic(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine(0)
+	for i := int64(1); i <= 5; i++ {
+		got, err := m.Call("f", 2, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i*2 + 100; got != want {
+			t.Fatalf("call %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestStringInterningDedupe(t *testing.T) {
+	src := `
+int f() {
+    print_str("same");
+    print_str("same");
+    print_str("different");
+    return 0;
+}`
+	p := mustStatic(t, src)
+	// The two identical literals share one global.
+	count := 0
+	for _, g := range p.c.Module.Globals {
+		if len(g.Name) > 5 && g.Name[:5] == ".str." {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("string globals: %d, want 2", count)
+	}
+}
+
+// The region-exit value flows out through registers even when the region
+// ends in complex control flow.
+func TestMultiExitRegion(t *testing.T) {
+	bothWays(t, `
+int f(int c, int x) {
+    int r = 0;
+    dynamicRegion (c) {
+        if (c > 10) {
+            if (x > 0) return x;
+            r = c;
+        } else {
+            r = c + x;
+        }
+    }
+    return r * 2;
+}`, "f", 7, 20, 7) // c>10, x>0: return x directly
+	bothWays(t, `
+int f(int c, int x) {
+    int r = 0;
+    dynamicRegion (c) {
+        if (c > 10) {
+            if (x > 0) return x;
+            r = c;
+        } else {
+            r = c + x;
+        }
+    }
+    return r * 2;
+}`, "f", (3+9)*2, 3, 9) // c<=10: r=c+x, doubled outside
+}

@@ -1,0 +1,186 @@
+package dyncc
+
+import "testing"
+
+func TestZeroIterationUnrolledLoop(t *testing.T) {
+	src := `
+int f(int *a, int n, int x) {
+    int s = 1000;
+    dynamicRegion (a, n) {
+        int i;
+        unrolled for (i = 0; i < n; i++) {
+            s = s + a dynamic[i];
+        }
+    }
+    return s + x;
+}`
+	p, err := CompileDynamic(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine(0)
+	addr, _ := m.Alloc(1)
+	got, err := m.Call("f", addr, 0, 5) // n = 0: loop body never stitched
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1005 {
+		t.Errorf("got %d", got)
+	}
+	if ss := p.StitchStats(0); ss.LoopIterations != 0 {
+		t.Errorf("iterations stitched for an empty loop: %d", ss.LoopIterations)
+	}
+}
+
+func TestTwoRegionsInOneFunction(t *testing.T) {
+	src := `
+int f(int c, int d, int x) {
+    int r1;
+    dynamicRegion (c) {
+        r1 = x * c;
+    }
+    int r2;
+    dynamicRegion (d) {
+        r2 = r1 + d * 3;
+    }
+    return r2;
+}`
+	for _, cfg := range []Config{
+		{Dynamic: false, Optimize: true},
+		{Dynamic: true, Optimize: true},
+		{Dynamic: true, Optimize: true, MergedStitch: true},
+	} {
+		p, err := Compile(src, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		m := p.NewMachine(0)
+		got, err := m.Call("f", 5, 7, 10)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if want := int64(10*5 + 7*3); got != want {
+			t.Errorf("%+v: got %d want %d", cfg, got, want)
+		}
+		if cfg.Dynamic {
+			if p.NumRegions() != 2 {
+				t.Fatalf("regions: %d", p.NumRegions())
+			}
+			if m.Region(0).Compiles != 1 || m.Region(1).Compiles != 1 {
+				t.Error("both regions should compile")
+			}
+		}
+	}
+}
+
+func TestDeepUnroll(t *testing.T) {
+	src := `
+int f(int *a, int n, int x) {
+    int s = 0;
+    dynamicRegion (a, n) {
+        int i;
+        unrolled for (i = 0; i < n; i++) {
+            s = s + a[i] * x + i;
+        }
+    }
+    return s;
+}`
+	p, err := CompileDynamic(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine(0)
+	const n = 500
+	addr, _ := m.Alloc(n)
+	var want int64
+	x := int64(3)
+	for i := int64(0); i < n; i++ {
+		m.Mem()[addr+i] = i % 23
+		want += (i%23)*x + i
+	}
+	got, err := m.Call("f", addr, n, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %d want %d", got, want)
+	}
+	if ss := p.StitchStats(0); ss.LoopIterations != n {
+		t.Errorf("iterations: %d", ss.LoopIterations)
+	}
+}
+
+func TestNestedUnrolledLoops(t *testing.T) {
+	src := `
+int f(int *a, int rows, int cols, int x) {
+    int s = 0;
+    dynamicRegion (a, rows, cols) {
+        int i, j;
+        unrolled for (i = 0; i < rows; i++) {
+            unrolled for (j = 0; j < cols; j++) {
+                s = s + a[i*cols + j] * x;
+            }
+        }
+    }
+    return s;
+}`
+	for _, cfg := range []Config{
+		{Dynamic: true, Optimize: true},
+		{Dynamic: true, Optimize: true, MergedStitch: true},
+	} {
+		p, err := Compile(src, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		m := p.NewMachine(0)
+		rows, cols := int64(4), int64(6)
+		addr, _ := m.Alloc(rows * cols)
+		var sum int64
+		for i := int64(0); i < rows*cols; i++ {
+			m.Mem()[addr+i] = i * 3
+			sum += i * 3
+		}
+		x := int64(7)
+		got, err := m.Call("f", addr, rows, cols, x)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if got != sum*x {
+			t.Errorf("%+v: got %d want %d", cfg, got, sum*x)
+		}
+		if ss := p.StitchStats(0); ss.LoopIterations != int(rows+rows*cols) {
+			t.Errorf("%+v: iterations %d, want %d", cfg, ss.LoopIterations, rows+rows*cols)
+		}
+	}
+}
+
+// A keyed region whose key is also used in arithmetic (key values double
+// as constants).
+func TestKeyUsedAsConstant(t *testing.T) {
+	src := `
+int f(int k, int x) {
+    int r;
+    dynamicRegion key(k) () {
+        int sq = k * k;    /* derived from the key */
+        r = sq + x / 1;
+    }
+    return r;
+}`
+	p, err := CompileDynamic(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine(0)
+	for _, k := range []int64{2, 5, 2, 5} {
+		got, err := m.Call("f", k, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k*k+100 {
+			t.Errorf("f(%d) = %d", k, got)
+		}
+	}
+	if m.Region(0).Compiles != 2 {
+		t.Errorf("compiles: %d", m.Region(0).Compiles)
+	}
+}

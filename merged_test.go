@@ -1,0 +1,73 @@
+package dyncc
+
+import "testing"
+
+// The section 7 merged set-up + stitch mode must produce identical code
+// behaviour with lower dynamic-compilation overhead.
+func TestMergedStitchCorrectAndCheaper(t *testing.T) {
+	run := func(cfg Config) ([]int64, RegionStats) {
+		p, err := Compile(cacheLookupSrc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.NewMachine(0)
+		cache := buildCache(t, m, 32, 512, 4)
+		plantTag(m, cache, 0x12345, 2)
+		var out []int64
+		for _, addr := range []int64{0x12345, 0x400, 0x99999, 0} {
+			v, err := m.Call("cacheLookup", addr, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, v)
+		}
+		return out, m.Region(0)
+	}
+	base, bst := run(Config{Dynamic: true, Optimize: true})
+	merged, mst := run(Config{Dynamic: true, Optimize: true, MergedStitch: true})
+	for i := range base {
+		if base[i] != merged[i] {
+			t.Fatalf("lookup %d: two-pass %d vs merged %d", i, base[i], merged[i])
+		}
+	}
+	if mst.Overhead() >= bst.Overhead() {
+		t.Errorf("merged overhead %d should beat two-pass %d", mst.Overhead(), bst.Overhead())
+	}
+	if mst.Compiles != 1 || mst.StitchedInsts == 0 {
+		t.Errorf("merged counters: %+v", mst)
+	}
+	t.Logf("overhead: two-pass %d cycles (setup %d + stitch %d), merged %d (setup %d + stitch %d)",
+		bst.Overhead(), bst.SetupCycles, bst.StitchCycles,
+		mst.Overhead(), mst.SetupCycles, mst.StitchCycles)
+}
+
+// Merged mode with keyed regions: each key still gets its own version.
+func TestMergedStitchKeyed(t *testing.T) {
+	src := `
+int scale(int s, int x) {
+    int r;
+    dynamicRegion key(s) () {
+        r = x * s;
+    }
+    return r;
+}`
+	p, err := Compile(src, Config{Dynamic: true, Optimize: true, MergedStitch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine(0)
+	for _, s := range []int64{3, 7} {
+		for _, x := range []int64{2, -9} {
+			got, err := m.Call("scale", s, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != s*x {
+				t.Fatalf("scale(%d,%d) = %d", s, x, got)
+			}
+		}
+	}
+	if m.Region(0).Compiles != 2 {
+		t.Errorf("compiles: %d", m.Region(0).Compiles)
+	}
+}

@@ -1,0 +1,100 @@
+package dyncc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Every program under testdata/ must compile and run identically in static
+// and dynamic mode (they double as documentation examples for cmd/dyncc
+// and cmd/dynrun).
+func TestTestdataPrograms(t *testing.T) {
+	cases := map[string]struct {
+		fn   string
+		args []int64
+		want int64
+	}{
+		"fib.mc":        {fn: "fib", args: []int64{20}, want: 6765},
+		"power.mc":      {fn: "power", args: []int64{3, 10}, want: 59049},
+		"dotproduct.mc": {fn: "buildAndDot", want: 1*10 + 2*9 + 3*8 + 4*7},
+	}
+	files, err := filepath.Glob("testdata/*.mc")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata: %v", err)
+	}
+	for _, f := range files {
+		name := filepath.Base(f)
+		tc, ok := cases[name]
+		if !ok {
+			t.Errorf("%s: no expectation registered", name)
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []Config{
+			{Dynamic: false, Optimize: true},
+			{Dynamic: true, Optimize: true},
+			{Dynamic: true, Optimize: true, MergedStitch: true},
+		} {
+			p, err := Compile(string(src), cfg)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, cfg, err)
+			}
+			m := p.NewMachine(0)
+			got, err := m.Call(tc.fn, tc.args...)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, cfg, err)
+			}
+			if got != tc.want {
+				t.Errorf("%s %+v: %s = %d, want %d", name, cfg, tc.fn, got, tc.want)
+			}
+		}
+	}
+}
+
+// power.mc's squaring loop is governed by the run-time-constant exponent
+// and annotated for complete unrolling: the stitched code is straight-line
+// (no backward branches), one squaring chain per exponent key.
+func TestPowerSpecialization(t *testing.T) {
+	src, err := os.ReadFile("testdata/power.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CompileDynamic(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine(0)
+	for _, e := range []int64{0, 1, 5, 10} {
+		got, err := m.Call("power", 2, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(1)
+		for i := int64(0); i < e; i++ {
+			want *= 2
+		}
+		if got != want {
+			t.Errorf("2^%d = %d, want %d", e, got, want)
+		}
+	}
+	if m.Region(0).Compiles != 4 {
+		t.Errorf("compiles: %d, want 4 (keyed by exponent)", m.Region(0).Compiles)
+	}
+	// Straight-line specialization: no backward branches in stitched code.
+	for _, segs := range p.c.Runtime.Stitched {
+		for _, seg := range segs {
+			for pc, in := range seg.Code {
+				switch in.Op.String() {
+				case "br", "beqz", "bnez", "beqi":
+					if in.Target <= pc {
+						t.Errorf("backward branch at %d in %s", pc, seg.Name)
+					}
+				}
+			}
+		}
+	}
+}
