@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all check race bench table2 clean
+
+all: check
+
+# Tier 1: everything builds and the full suite passes.
+check:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Tier 2: static analysis plus the race-enabled suite (exercises the
+# concurrent stitch cache under the race detector).
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Machine-readable benchmark results: Table 2 plus the parallel-machines
+# sweep, written to BENCH_1.json.
+bench:
+	$(GO) run ./cmd/dynbench -parallel 8 -json BENCH_1.json
+
+# Regenerate the paper's tables on stdout.
+table2:
+	$(GO) run ./cmd/dynbench
+
+clean:
+	rm -f BENCH_1.json

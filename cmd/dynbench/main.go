@@ -1,16 +1,49 @@
 // Command dynbench regenerates the paper's experimental results: Table 2
 // (speedups, breakeven points, overheads), Table 3 (optimizations applied
-// dynamically), the Figure 1 / section 4 cache-lookup walk-through, and the
-// section 5 register-actions result.
+// dynamically), the Figure 1 / section 4 cache-lookup walk-through, the
+// section 5 register-actions result, and — beyond the paper — a
+// parallel-machines sweep exercising the cross-machine stitch cache.
+//
+// With -json the run's measurements are also written machine-readable
+// (benchmark name, cycle counts, speedups, and parallel stitch throughput),
+// e.g. for regression tracking:
+//
+//	dynbench -parallel 8 -json BENCH_1.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dyncc/internal/bench"
 )
+
+// jsonReport is the schema written by -json.
+type jsonReport struct {
+	Table2 []jsonRow `json:"table2"`
+	// Parallel is present only when -parallel is given.
+	Parallel []*bench.ParallelResult `json:"parallel,omitempty"`
+	// GOMAXPROCS records how many OS threads the parallel sweep could
+	// actually use, so scaling numbers can be interpreted.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+type jsonRow struct {
+	Name              string  `json:"name"`
+	Config            string  `json:"config"`
+	Speedup           float64 `json:"speedup"`
+	StaticPerUnit     float64 `json:"static_cycles_per_unit"`
+	DynPerUnit        float64 `json:"dynamic_cycles_per_unit"`
+	Breakeven         int     `json:"breakeven"`
+	SetupCycles       uint64  `json:"setup_cycles"`
+	StitchCycles      uint64  `json:"stitch_cycles"`
+	StitchedInsts     uint64  `json:"stitched_insts"`
+	Compiles          uint64  `json:"compiles"`
+	CyclesPerStitched float64 `json:"cycles_per_stitched_inst"`
+}
 
 func main() {
 	table := flag.Int("table", 0, "print table 2 or 3 (0 = both)")
@@ -18,13 +51,19 @@ func main() {
 	figure1 := flag.Bool("figure1", false, "print the Figure 1 / section 4 cache-lookup walk-through")
 	merged := flag.Bool("merged", false, "use the section 7 merged set-up+stitch mode")
 	uses := flag.Int("uses", 0, "override workload size")
+	parallel := flag.Int("parallel", 0, "run the parallel-machines sweep up to N machines")
+	jsonPath := flag.String("json", "", "also write measurements to this file as JSON")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dynbench:", err)
+		os.Exit(1)
+	}
 
 	cfg := bench.Config{Uses: *uses, MergedStitch: *merged}
 	rows, err := bench.Table2(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dynbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *table == 0 || *table == 2 {
 		fmt.Println("Table 2: Speedup and Breakeven Point Results")
@@ -38,24 +77,54 @@ func main() {
 	}
 	if *figure1 {
 		if err := bench.Figure1(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "dynbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 	if *regact {
 		fmt.Println("Section 5: register actions (calculator)")
 		base, err := bench.Calculator(bench.Config{Uses: *uses})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dynbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		ra, err := bench.Calculator(bench.Config{Uses: *uses, RegisterActions: true})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dynbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("  plain stitching:   speedup %.2f\n", base.Speedup)
 		fmt.Printf("  register actions:  speedup %.2f (loads promoted %d, stores promoted %d)\n",
 			ra.Speedup, ra.Stitch.LoadsPromoted, ra.Stitch.StoresPromoted)
+	}
+
+	var sweep []*bench.ParallelResult
+	if *parallel > 0 {
+		sweep, err = bench.ParallelSweep(*parallel, *uses)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Parallel machines: shared stitch cache, %d distinct keys (GOMAXPROCS=%d)\n",
+			sweep[0].Keys, runtime.GOMAXPROCS(0))
+		bench.PrintParallel(os.Stdout, sweep)
+		fmt.Println()
+	}
+
+	if *jsonPath != "" {
+		rep := jsonReport{Parallel: sweep, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		for _, m := range rows {
+			rep.Table2 = append(rep.Table2, jsonRow{
+				Name: m.Name, Config: m.Config, Speedup: m.Speedup,
+				StaticPerUnit: m.StaticPerUnit, DynPerUnit: m.DynPerUnit,
+				Breakeven: m.Breakeven, SetupCycles: m.SetupCycles,
+				StitchCycles: m.StitchCycles, StitchedInsts: m.StitchedInsts,
+				Compiles: m.Compiles, CyclesPerStitched: m.CyclesPerStitched,
+			})
+		}
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"dyncc/internal/core"
 	"dyncc/internal/ir"
+	"dyncc/internal/rtr"
 	"dyncc/internal/stitcher"
 	"dyncc/internal/tmpl"
 	"dyncc/internal/vm"
@@ -54,6 +55,25 @@ type Config struct {
 	// overhead (the paper predicted this would "drastically reduce"
 	// dynamic compilation costs).
 	MergedStitch bool
+	// Cache tunes the runtime's two-level stitch cache.
+	Cache CacheOptions
+}
+
+// CacheOptions tune the runtime stitch cache (see DESIGN.md, "Runtime
+// concurrency model"). The zero value is the production configuration:
+// cross-machine sharing on, 32 shards, no diagnostic retention.
+type CacheOptions struct {
+	// KeepStitched retains every stitched segment in the runtime for
+	// diagnostics (disassembly, golden tests). Off by default so
+	// long-running servers don't hold every segment ever stitched.
+	KeepStitched bool
+	// Shards overrides the shared-cache shard count (0 = default 32,
+	// rounded up to a power of two).
+	Shards int
+	// NoShare disables cross-machine sharing of stitched code: every
+	// machine stitches its own segments, and concurrent stitches of the
+	// same specialization are no longer deduplicated.
+	NoShare bool
 }
 
 // Program is a compiled MiniC program.
@@ -70,6 +90,11 @@ func Compile(src string, cfg Config) (*Program, error) {
 		Stitcher: stitcher.Options{
 			NoStrengthReduction: cfg.NoStrengthReduction,
 			RegisterActions:     cfg.RegisterActions,
+		},
+		Cache: rtr.CacheOptions{
+			KeepStitched: cfg.Cache.KeepStitched,
+			Shards:       cfg.Cache.Shards,
+			NoShare:      cfg.Cache.NoShare,
 		},
 	})
 	if err != nil {
@@ -167,7 +192,7 @@ type StitchStats struct {
 
 // StitchStats returns runtime stitcher statistics for region r.
 func (p *Program) StitchStats(r int) StitchStats {
-	s := p.c.Runtime.Stats[r]
+	s := p.c.Runtime.Stats(r)
 	return StitchStats{
 		InstsStitched:      s.InstsStitched,
 		HolesPatched:       s.HolesPatched,
@@ -177,6 +202,28 @@ func (p *Program) StitchStats(r int) StitchStats {
 		LargeConsts:        s.LargeConsts,
 		LoadsPromoted:      s.LoadsPromoted,
 		StoresPromoted:     s.StoresPromoted,
+	}
+}
+
+// RuntimeCacheStats summarizes the shared stitch cache across every
+// machine of a program: how many distinct specializations were stitched,
+// how many cold lookups another machine's stitch satisfied, and how many
+// concurrent stitches were coalesced by the singleflight guard.
+type RuntimeCacheStats struct {
+	Stitches   uint64
+	SharedHits uint64
+	Waits      uint64
+	Misses     uint64
+}
+
+// CacheStats reports shared stitch-cache behaviour for this program.
+func (p *Program) CacheStats() RuntimeCacheStats {
+	cs := p.c.Runtime.CacheStats()
+	return RuntimeCacheStats{
+		Stitches:   cs.Stitches,
+		SharedHits: cs.SharedHits,
+		Waits:      cs.Waits,
+		Misses:     cs.Misses,
 	}
 }
 

@@ -14,7 +14,10 @@ func mustStatic(t *testing.T, src string) *Program {
 
 func mustDynamic(t *testing.T, src string) *Program {
 	t.Helper()
-	p, err := CompileDynamic(src)
+	// KeepStitched: several golden tests inspect the stitched segments,
+	// which are not retained by default.
+	p, err := Compile(src, Config{Dynamic: true, Optimize: true,
+		Cache: CacheOptions{KeepStitched: true}})
 	if err != nil {
 		t.Fatalf("dynamic compile: %v", err)
 	}

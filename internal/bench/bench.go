@@ -134,7 +134,7 @@ func measure(b *benchmark, cfg Config) (*Measurement, error) {
 		Overhead:      drc.Overhead(),
 		StitchedInsts: drc.StitchedInsts,
 		Compiles:      drc.Compiles,
-		Stitch:        dyn.Runtime.Stats[0],
+		Stitch:        dyn.Runtime.Stats(0),
 	}
 	if len(dyn.Output.Regions) > 0 {
 		mes.Plan = dyn.Output.Regions[0].Stats

@@ -184,3 +184,25 @@ func TestMergedStitchCutsOverhead(t *testing.T) {
 	}
 	t.Logf("sparse set-up: two-pass %d cycles, merged %d cycles", two.SetupCycles, one.SetupCycles)
 }
+
+// The parallel harness must show the fleet paying for exactly one stitch
+// per distinct key when sharing is on, and machines x keys when it is off.
+func TestParallelMachinesStitchCounts(t *testing.T) {
+	shared, err := ParallelMachines(4, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Stitches != uint64(shared.Keys) {
+		t.Errorf("shared: %d stitches for %d keys", shared.Stitches, shared.Keys)
+	}
+	if shared.SharedHits == 0 {
+		t.Error("shared: no machine adopted a cached segment")
+	}
+	private, err := ParallelMachines(4, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(4 * private.Keys); private.Stitches != want {
+		t.Errorf("noShare: %d stitches, want %d", private.Stitches, want)
+	}
+}

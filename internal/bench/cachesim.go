@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
 	"dyncc/internal/vm"
 )
 
@@ -119,11 +121,13 @@ func CacheSim(cfg Config) (*Measurement, error) { return measure(cacheSimBenchma
 // Figure1 prints the section 4 walk-through: the region's directives and
 // the final stitched code for the 512x32x4 configuration.
 func Figure1(w interface{ Write([]byte) (int, error) }) error {
-	stat, dyn, err := compileBoth(CacheSimSource, Config{})
+	// KeepStitched retains the stitched segment for the disassembly dump
+	// (retention is off by default; see rtr.CacheOptions).
+	dyn, err := core.Compile(CacheSimSource, core.Config{Dynamic: true, Optimize: true,
+		Cache: rtr.CacheOptions{KeepStitched: true}})
 	if err != nil {
 		return err
 	}
-	_ = stat
 	m := dyn.NewMachine(0)
 	st, err := buildCacheSim(m)
 	if err != nil {

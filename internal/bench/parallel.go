@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+)
+
+// parallelSrc is the keyed kernel the parallel harness drives: complete
+// unrolling keyed by the exponent, so each distinct key costs a real stitch
+// and the stitched segments are worth sharing across machines.
+const parallelSrc = `
+int power(int n, int x) {
+    int r = 1;
+    dynamicRegion key(n) () {
+        int i;
+        unrolled for (i = 0; i < n; i++) {
+            r = r * x;
+        }
+    }
+    return r;
+}`
+
+// parallelKeys are the distinct specializations in the workload.
+var parallelKeys = []int64{2, 3, 5, 8, 13, 21, 24, 30}
+
+// ParallelResult is one row of the parallel-machines report: M machines
+// driven by M goroutines over the same runtime, all hammering the same key
+// set.
+type ParallelResult struct {
+	Machines   int           `json:"machines"`
+	Uses       int           `json:"uses"` // total across machines
+	Keys       int           `json:"keys"` // distinct specializations
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	UsesPerSec float64       `json:"uses_per_sec"`
+	Stitches   uint64        `json:"stitches"`
+	SharedHits uint64        `json:"shared_hits"`
+	Waits      uint64        `json:"waits"`
+	Shared     bool          `json:"shared"` // cross-machine sharing enabled
+}
+
+// ParallelMachines runs the keyed power kernel on `machines` machines, one
+// goroutine each, `usesPerMachine` calls per machine cycling through the key
+// set. With sharing enabled (the default) the whole fleet should pay for
+// exactly len(parallelKeys) stitches; with noShare each machine stitches its
+// own copies, reproducing the single-machine behavior M times over.
+func ParallelMachines(machines, usesPerMachine int, noShare bool) (*ParallelResult, error) {
+	if machines < 1 {
+		machines = 1
+	}
+	if usesPerMachine < 1 {
+		usesPerMachine = 2000
+	}
+	c, err := core.Compile(parallelSrc, core.Config{
+		Dynamic: true, Optimize: true,
+		Cache: rtr.CacheOptions{NoShare: noShare},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	ms := c.NewMachines(machines)
+	errs := make([]error, machines)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < machines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := ms[i]
+			for n := 0; n < usesPerMachine; n++ {
+				k := parallelKeys[(n+i)%len(parallelKeys)]
+				if _, err := m.Call("power", k, 2); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parallel: %w", err)
+		}
+	}
+	cs := c.Runtime.CacheStats()
+	uses := machines * usesPerMachine
+	return &ParallelResult{
+		Machines:   machines,
+		Uses:       uses,
+		Keys:       len(parallelKeys),
+		Elapsed:    elapsed,
+		UsesPerSec: float64(uses) / elapsed.Seconds(),
+		Stitches:   cs.Stitches,
+		SharedHits: cs.SharedHits,
+		Waits:      cs.Waits,
+		Shared:     !noShare,
+	}, nil
+}
+
+// ParallelSweep runs ParallelMachines for machine counts 1, 2, 4, ... up to
+// max (always including max), sharing enabled.
+func ParallelSweep(max, usesPerMachine int) ([]*ParallelResult, error) {
+	var results []*ParallelResult
+	for g := 1; g <= max; g *= 2 {
+		r, err := ParallelMachines(g, usesPerMachine, false)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	if n := len(results); n == 0 || results[n-1].Machines != max {
+		r, err := ParallelMachines(max, usesPerMachine, false)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// PrintParallel renders the sweep, reporting throughput scaling relative to
+// the single-machine row and the fleet-wide stitch count (which stays at the
+// distinct-key count when sharing works).
+func PrintParallel(w io.Writer, results []*ParallelResult) {
+	fmt.Fprintf(w, "%-9s %12s %14s %9s %9s %12s %7s\n",
+		"Machines", "Uses", "Uses/sec", "Scaling", "Stitches", "SharedHits", "Waits")
+	for _, r := range results {
+		scaling := 1.0
+		if base := results[0]; base.UsesPerSec > 0 {
+			scaling = r.UsesPerSec / base.UsesPerSec
+		}
+		fmt.Fprintf(w, "%-9d %12d %14.0f %8.2fx %9d %12d %7d\n",
+			r.Machines, r.Uses, r.UsesPerSec, scaling,
+			r.Stitches, r.SharedHits, r.Waits)
+	}
+}

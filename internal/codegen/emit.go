@@ -227,6 +227,7 @@ func (fg *funcGen) emitTemplates(r *ir.Region, sr *split.Result) (*tmpl.Region, 
 	for i := range r.Keys {
 		tr.KeyRegs = append(tr.KeyRegs, regalloc.TempA+vm.Reg(i))
 	}
+	tr.Shareable = regionShareable(fg.f, r)
 
 	// Collect template blocks reachable from the template entry.
 	var blocks []*ir.Block

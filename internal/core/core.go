@@ -29,6 +29,9 @@ type Config struct {
 	Optimize bool
 	// Stitcher options (strength-reduction ablation, register actions).
 	Stitcher stitcher.Options
+	// Cache tunes the runtime's two-level stitch cache (shard count,
+	// cross-machine sharing, diagnostic segment retention).
+	Cache rtr.CacheOptions
 	// MergedStitch enables the paper's section 7 one-pass mode: set-up is
 	// evaluated host-side during stitching instead of running as inline VM
 	// code, eliminating the intermediate directive/set-up interpretation
@@ -101,7 +104,10 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 		Splits: splits,
 		Opt:    optStats,
 	}
-	c.Runtime = rtr.New(out.Prog, out.Regions, cfg.Stitcher)
+	c.Runtime = rtr.New(out.Prog, out.Regions, rtr.Options{
+		Stitcher: cfg.Stitcher,
+		Cache:    cfg.Cache,
+	})
 	if cfg.Dynamic && cfg.MergedStitch {
 		idx := 0
 		for _, f := range mod.Funcs {
@@ -192,6 +198,17 @@ func (c *Compiled) NewMachine(memWords int) *vm.Machine {
 	m := vm.NewMachine(c.Output.Prog, memWords)
 	c.Runtime.Attach(m)
 	return m
+}
+
+// NewMachines creates n machines sharing this program's runtime (and so its
+// cross-machine stitch cache). Each machine may then be driven by its own
+// goroutine.
+func (c *Compiled) NewMachines(n int) []*vm.Machine {
+	ms := make([]*vm.Machine, n)
+	for i := range ms {
+		ms[i] = c.NewMachine(0)
+	}
+	return ms
 }
 
 // Regions returns all IR regions in module order (matching global indices).

@@ -1,0 +1,246 @@
+package rtr
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"dyncc/internal/stitcher"
+	"dyncc/internal/tmpl"
+	"dyncc/internal/vm"
+)
+
+// DefaultShards is the shard count of the shared (level-1) stitch cache
+// when CacheOptions.Shards is zero. 32 shards keep lock contention
+// negligible for any realistic machine count while costing a few hundred
+// bytes per runtime; the count is rounded up to a power of two so shard
+// selection is a mask, not a modulo.
+const DefaultShards = 32
+
+// CacheOptions tune the runtime's two-level stitch cache.
+type CacheOptions struct {
+	// KeepStitched retains every stitched segment in Runtime.Stitched for
+	// diagnostics (golden tests, disassembly dumps). Off by default: a
+	// long-running server would otherwise hold every segment it ever
+	// stitched, even ones its machines have dropped.
+	KeepStitched bool
+	// Shards overrides the shared-cache shard count (0 = DefaultShards;
+	// values are rounded up to a power of two).
+	Shards int
+	// NoShare disables the cross-machine shared cache: every machine
+	// stitches its own segments, as if all regions were unshareable.
+	// Stitch deduplication across goroutines is disabled with it.
+	NoShare bool
+}
+
+// cacheKey identifies one specialization in the shared cache.
+type cacheKey struct {
+	region int
+	key    string // binary-encoded key-register values
+}
+
+// entry is one shared-cache slot with a singleflight latch: the goroutine
+// that creates the entry stitches; later arrivals block on done and read
+// seg/err. Entries whose stitch failed are removed so a later attempt can
+// retry (the error is still delivered to every waiter of that attempt).
+type entry struct {
+	done chan struct{}
+	seg  *vm.Segment
+	err  error
+}
+
+// shard is one lock domain of the shared cache. Stitcher statistics are
+// accumulated per shard and folded on read so the stitch path never takes
+// a runtime-global lock.
+type shard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*entry
+	stats   []stitcher.Stats // per region index
+	hits    uint64           // cold lookups served by a completed entry
+	waits   uint64           // stitches coalesced onto an in-flight entry
+	misses  uint64           // lookups that found nothing
+}
+
+// CacheStats summarizes shared-cache behaviour across all shards.
+type CacheStats struct {
+	Stitches   uint64 // stitcher runs (singleflight winners + private stitches)
+	SharedHits uint64 // lookups served by another machine's stitch
+	Waits      uint64 // stitches coalesced onto an in-flight stitch
+	Misses     uint64 // shared-cache lookups that found nothing
+}
+
+func numShards(opt int) int {
+	n := opt
+	if n <= 0 {
+		n = DefaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// appendKey encodes the key-register values staged at DYNENTER into buf
+// (varint-encoded, reusing buf's capacity). This replaces the seed's
+// fmt.Sprintf key building, which allocated on every DYNENTER.
+func appendKey(buf []byte, m *vm.Machine, r *tmpl.Region) []byte {
+	for _, reg := range r.KeyRegs {
+		buf = binary.AppendVarint(buf, m.Regs[reg])
+	}
+	return buf
+}
+
+// shardFor picks the shard for (region, key) by FNV-1a over the region
+// index and the encoded key bytes.
+func (rt *Runtime) shardFor(region int, key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(region)) * prime64
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	return &rt.shards[h&uint64(len(rt.shards)-1)]
+}
+
+// lookupShared returns the completed segment for (region, key), or nil.
+// In-flight entries are not waited on here: DYNENTER falls through into
+// set-up instead, and the wait happens at stitch time where the in-flight
+// window is pure host code (see stitchShared).
+func (rt *Runtime) lookupShared(region int, key string) *vm.Segment {
+	sh := rt.shardFor(region, key)
+	ck := cacheKey{region: region, key: key}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[ck]; ok {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				sh.hits++
+				return e.seg
+			}
+		default:
+		}
+	}
+	sh.misses++
+	return nil
+}
+
+// stitchShared produces the segment for (region, key) with singleflight:
+// exactly one goroutine runs the stitcher against its own machine's table;
+// everyone else blocks until it publishes. The window between claim and
+// publish contains only host-side stitching (no VM execution), so waiters
+// cannot be abandoned. Returns the segment, the stitch statistics if this
+// call was the winner (nil for waiters — the winner's machine already
+// accounted the modeled cost), and any stitch error.
+func (rt *Runtime) stitchShared(m *vm.Machine, region int, key string,
+	tbl int64) (*vm.Segment, *stitcher.Stats, error) {
+
+	r := rt.Regions[region]
+	sh := rt.shardFor(region, key)
+	ck := cacheKey{region: region, key: key}
+
+	sh.mu.Lock()
+	if e, ok := sh.entries[ck]; ok {
+		sh.waits++
+		sh.mu.Unlock()
+		<-e.done
+		// A failed stitch is deterministic for a shareable region (the
+		// output depends only on the key), so propagate the winner's error
+		// rather than re-running a stitch that would fail identically.
+		return e.seg, nil, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	sh.entries[ck] = e
+	sh.mu.Unlock()
+
+	seg, stats, err := stitcher.Stitch(r, m.Mem, tbl, m.Prog.Segs[r.FuncID], rt.Opts.Stitcher)
+	e.seg, e.err = seg, err
+	close(e.done)
+
+	sh.mu.Lock()
+	if err != nil {
+		delete(sh.entries, ck)
+	} else {
+		sh.addStatsLocked(region, stats)
+	}
+	sh.mu.Unlock()
+	return seg, stats, err
+}
+
+// recordStats folds one private (unshared) stitch into the shard-local
+// statistics for its (region, key).
+func (rt *Runtime) recordStats(region int, key string, stats *stitcher.Stats) {
+	sh := rt.shardFor(region, key)
+	sh.mu.Lock()
+	sh.addStatsLocked(region, stats)
+	sh.mu.Unlock()
+}
+
+func (sh *shard) addStatsLocked(region int, st *stitcher.Stats) {
+	for region >= len(sh.stats) {
+		sh.stats = append(sh.stats, stitcher.Stats{})
+	}
+	s := &sh.stats[region]
+	s.InstsStitched += st.InstsStitched
+	s.HolesPatched += st.HolesPatched
+	s.BranchesResolved += st.BranchesResolved
+	s.LoopIterations += st.LoopIterations
+	s.StrengthReductions += st.StrengthReductions
+	s.LargeConsts += st.LargeConsts
+	s.LoadsPromoted += st.LoadsPromoted
+	s.StoresPromoted += st.StoresPromoted
+	s.CyclesModeled += st.CyclesModeled
+}
+
+// Stats folds the per-shard stitcher statistics for region r across every
+// stitch performed by any attached machine. (Per-shard accumulation keeps
+// the stitch path off any runtime-global lock; folding happens only here,
+// on the cold read path.)
+func (rt *Runtime) Stats(r int) stitcher.Stats {
+	var out stitcher.Stats
+	for i := range rt.shards {
+		sh := &rt.shards[i]
+		sh.mu.Lock()
+		if r < len(sh.stats) {
+			s := &sh.stats[r]
+			out.InstsStitched += s.InstsStitched
+			out.HolesPatched += s.HolesPatched
+			out.BranchesResolved += s.BranchesResolved
+			out.LoopIterations += s.LoopIterations
+			out.StrengthReductions += s.StrengthReductions
+			out.LargeConsts += s.LargeConsts
+			out.LoadsPromoted += s.LoadsPromoted
+			out.StoresPromoted += s.StoresPromoted
+			out.CyclesModeled += s.CyclesModeled
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// CacheStats folds the shared-cache counters across shards.
+func (rt *Runtime) CacheStats() CacheStats {
+	var cs CacheStats
+	for i := range rt.shards {
+		sh := &rt.shards[i]
+		sh.mu.Lock()
+		cs.SharedHits += sh.hits
+		cs.Waits += sh.waits
+		cs.Misses += sh.misses
+		for _, e := range sh.entries {
+			select {
+			case <-e.done:
+				if e.err == nil {
+					cs.Stitches++
+				}
+			default:
+			}
+		}
+		sh.mu.Unlock()
+	}
+	cs.Stitches += rt.privateStitches.Load()
+	return cs
+}

@@ -1,149 +1,244 @@
 // Package rtr is the run-time half of the system: it wires the VM's
-// dynamic-region hooks, manages the per-region cache of stitched code
-// (keyed by the values of the region's key variables, paper section 2),
-// invokes the stitcher, and accounts its modeled cost.
+// dynamic-region hooks, manages the cache of stitched code (keyed by the
+// values of the region's key variables, paper section 2), invokes the
+// stitcher, and accounts its modeled cost.
+//
+// # Concurrency model
+//
+// A Runtime may be attached to any number of machines, each driven by its
+// own goroutine. The code cache has two levels:
+//
+//   - Level 2, per machine: a plain map per region from encoded key bytes
+//     to stitched segment. A machine is single-goroutine by the VM's
+//     contract, so this level takes no locks and — because keys are
+//     varint-encoded into a reusable scratch buffer — the steady-state
+//     DYNENTER lookup performs zero allocations. (A plain goroutine-
+//     confined map beats both sync.Map and an atomically swapped snapshot
+//     here: there is no cross-goroutine access to synchronize at all; see
+//     BenchmarkL2MapStrategies.)
+//
+//   - Level 1, per runtime: a sharded map shared by all attached machines,
+//     holding segments for regions the static compiler proved Shareable
+//     (the stitched output is a pure function of the key bytes — see
+//     tmpl.Region.Shareable for the aliasing rule). Each shard guards its
+//     entries and its slice of stitcher statistics with its own mutex; a
+//     singleflight latch per entry ensures K goroutines hitting a cold
+//     (region, key) pay for exactly one stitch and K−1 channel waits.
+//
+// Non-shareable regions (set-up reads machine memory) bypass level 1
+// entirely and behave exactly as in the single-machine system: each
+// machine stitches its own copy against its own tables.
 package rtr
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dyncc/internal/stitcher"
 	"dyncc/internal/tmpl"
 	"dyncc/internal/vm"
 )
 
-// Runtime manages stitched code for one program. A Runtime may be attached
-// to any number of machines; each machine gets its own code cache (its
-// table lives in its own memory).
+// Options configure a Runtime.
+type Options struct {
+	Stitcher stitcher.Options
+	Cache    CacheOptions
+}
+
+// Runtime manages stitched code for one program across any number of
+// attached machines.
 type Runtime struct {
 	Prog    *vm.Program
 	Regions []*tmpl.Region
-	Opts    stitcher.Options
+	Opts    Options
 
-	// Stats accumulates stitcher statistics per region index across all
-	// attached machines.
-	Stats []stitcher.Stats
-
-	// Stitched records every stitched segment per region (diagnostics).
-	Stitched map[int][]*vm.Segment
+	// Stitched records every stitched segment per region, for diagnostics
+	// (disassembly dumps, golden tests). Populated only when
+	// Opts.Cache.KeepStitched is set — unbounded retention is a leak for
+	// long-running servers. Guarded by stitchedMu.
+	Stitched   map[int][]*vm.Segment
+	stitchedMu sync.Mutex
 
 	// SetupFn, when present for a region, evaluates the region's set-up
 	// host-side (the paper's section 7 merged set-up+stitch mode): it
 	// builds the run-time constants table directly in the machine's memory
 	// and returns its base address plus the modeled cycle cost. With a
 	// SetupFn installed, stitching happens immediately at DYNENTER and the
-	// inline VM set-up code is never executed.
+	// inline VM set-up code is never executed. SetupFn must be fully
+	// populated before the first Attach; it is read without locks after.
 	SetupFn map[int]func(m *vm.Machine) (int64, uint64, error)
 
-	// machines tracks per-machine state (each machine has its own code
-	// cache, since its tables live in its own memory).
-	machines map[*vm.Machine]*machineState
+	// shards is the level-1 shared cache (see package comment).
+	shards []shard
+
+	// privateStitches counts stitches of non-shareable regions (shareable
+	// stitches are counted by their shard entries).
+	privateStitches atomic.Uint64
 }
 
 // New creates a runtime for prog with the given region metadata.
-func New(prog *vm.Program, regions []*tmpl.Region, opts stitcher.Options) *Runtime {
-	return &Runtime{
+func New(prog *vm.Program, regions []*tmpl.Region, opts Options) *Runtime {
+	rt := &Runtime{
 		Prog:     prog,
 		Regions:  regions,
 		Opts:     opts,
-		Stats:    make([]stitcher.Stats, len(regions)),
 		Stitched: map[int][]*vm.Segment{},
 		SetupFn:  map[int]func(m *vm.Machine) (int64, uint64, error){},
-		machines: map[*vm.Machine]*machineState{},
+		shards:   make([]shard, numShards(opts.Cache.Shards)),
 	}
+	for i := range rt.shards {
+		rt.shards[i].entries = map[cacheKey]*entry{}
+	}
+	return rt
 }
 
+// machineState is the level-2 cache plus scratch state of one attached
+// machine. It is touched only by the machine's own goroutine.
 type machineState struct {
-	cache   map[int]map[string]*vm.Segment // region -> key -> code
-	pending map[int]string                 // region -> key awaiting stitch
+	cache   []map[string]*vm.Segment // region -> key bytes -> code
+	pending []string                 // region -> key awaiting DYNSTITCH
+	keyBuf  []byte                   // reusable key-encoding buffer
 }
 
-// Attach wires the runtime into machine m.
-func (rt *Runtime) Attach(m *vm.Machine) {
+func newMachineState(n int) *machineState {
 	ms := &machineState{
-		cache:   map[int]map[string]*vm.Segment{},
-		pending: map[int]string{},
+		cache:   make([]map[string]*vm.Segment, n),
+		pending: make([]string, n),
+		keyBuf:  make([]byte, 0, 64),
 	}
-	m.OnDynEnter = func(m *vm.Machine, region int) (*vm.Segment, int, error) {
-		r := rt.Regions[region]
-		key := keyOf(m, r)
-		if seg := ms.cache[region][key]; seg != nil {
-			return seg, 0, nil
-		}
-		if setup := rt.SetupFn[region]; setup != nil {
-			// Merged set-up + stitch: build the table host-side and stitch
-			// immediately; the inline VM set-up code never runs.
-			tbl, cost, err := setup(m)
-			if err != nil {
-				return nil, 0, fmt.Errorf("merged set-up %s: %w", r.Name, err)
-			}
-			rc := m.Region(region)
-			rc.SetupCycles += cost
-			m.Cycles += cost
-			return rt.stitchNow(m, region, key, tbl)
-		}
-		ms.pending[region] = key
-		return nil, 0, nil // run inline set-up, then DYNSTITCH
-	}
-	m.OnDynStitch = func(m *vm.Machine, region int) (*vm.Segment, int, error) {
-		key := ms.pending[region]
-		delete(ms.pending, region)
-		return rt.stitchNow(m, region, key, m.Regs[vm.RScratch])
-	}
-	m.OnReset = func(m *vm.Machine) {
-		// The machine's memory (and so its constants tables and input data
-		// structures) is being wiped: cached specializations are stale.
-		ms.cache = map[int]map[string]*vm.Segment{}
-		ms.pending = map[int]string{}
-	}
-	rt.machines[m] = ms
+	return ms
 }
 
-// stitchNow stitches region for machine m against the table at tbl and
-// caches the result under key.
-func (rt *Runtime) stitchNow(m *vm.Machine, region int, key string, tbl int64) (*vm.Segment, int, error) {
-	ms := rt.machines[m]
-	r := rt.Regions[region]
-	parent := m.Prog.Segs[r.FuncID]
-	seg, stats, err := stitcher.Stitch(r, m.Mem, tbl, parent, rt.Opts)
-	if err != nil {
-		return nil, 0, fmt.Errorf("stitch region %s: %w", r.Name, err)
-	}
+func (ms *machineState) put(region int, key string, seg *vm.Segment) {
 	if ms.cache[region] == nil {
 		ms.cache[region] = map[string]*vm.Segment{}
 	}
 	ms.cache[region][key] = seg
-	rt.Stitched[region] = append(rt.Stitched[region], seg)
-
-	// Account the modeled stitcher cost.
-	rc := m.Region(region)
-	rc.StitchCycles += stats.CyclesModeled
-	rc.StitchedInsts += uint64(stats.InstsStitched)
-	rc.Compiles++
-	m.Cycles += stats.CyclesModeled
-
-	s := &rt.Stats[region]
-	s.InstsStitched += stats.InstsStitched
-	s.HolesPatched += stats.HolesPatched
-	s.BranchesResolved += stats.BranchesResolved
-	s.LoopIterations += stats.LoopIterations
-	s.StrengthReductions += stats.StrengthReductions
-	s.LargeConsts += stats.LargeConsts
-	s.LoadsPromoted += stats.LoadsPromoted
-	s.StoresPromoted += stats.StoresPromoted
-	s.CyclesModeled += stats.CyclesModeled
-	return seg, 0, nil
 }
 
-// keyOf builds the cache key from the key-variable values staged in the
-// shuttle registers at DYNENTER.
-func keyOf(m *vm.Machine, r *tmpl.Region) string {
-	if len(r.KeyRegs) == 0 {
-		return ""
+// Attach wires the runtime into machine m. Each attached machine may be
+// driven by its own goroutine; Attach itself must not race with that
+// machine's execution.
+func (rt *Runtime) Attach(m *vm.Machine) {
+	ms := newMachineState(len(rt.Regions))
+	m.OnDynEnter = func(m *vm.Machine, region int) (*vm.Segment, error) {
+		// Hot path: encode the key into the reusable buffer and look it up
+		// in the per-machine cache. Zero locks, zero allocations.
+		r := rt.Regions[region]
+		key := appendKey(ms.keyBuf[:0], m, r)
+		ms.keyBuf = key
+		if seg, ok := ms.cache[region][string(key)]; ok {
+			return seg, nil
+		}
+		return rt.enterCold(m, ms, region, key)
 	}
-	k := ""
-	for _, reg := range r.KeyRegs {
-		k += fmt.Sprintf("%d,", m.Regs[reg])
+	m.OnDynStitch = func(m *vm.Machine, region int) (*vm.Segment, error) {
+		key := ms.pending[region]
+		ms.pending[region] = ""
+		return rt.stitchNow(m, ms, region, key, m.Regs[vm.RScratch])
 	}
-	return k
+	m.OnReset = func(m *vm.Machine) {
+		// The machine's memory (and so its constants tables and input data
+		// structures) is being wiped: this machine's cached specializations
+		// are stale. Shared (level-1) segments survive — a Shareable
+		// region's stitched code depends only on its key bytes, never on
+		// the memory being wiped.
+		for i := range ms.cache {
+			ms.cache[i] = nil
+			ms.pending[i] = ""
+		}
+	}
+}
+
+// enterCold handles a DYNENTER whose key missed the per-machine cache:
+// consult the shared cache, then fall back to set-up + stitch.
+func (rt *Runtime) enterCold(m *vm.Machine, ms *machineState, region int,
+	key []byte) (*vm.Segment, error) {
+
+	r := rt.Regions[region]
+	ks := string(key)
+	if rt.shared(r) {
+		if seg := rt.lookupShared(region, ks); seg != nil {
+			// Another machine already stitched this exact specialization.
+			// Adopt it: no set-up runs, no stitch cost is charged — the
+			// paper's overhead was paid once, program-wide.
+			ms.put(region, ks, seg)
+			return seg, nil
+		}
+	}
+	if setup := rt.SetupFn[region]; setup != nil {
+		// Merged set-up + stitch: build the table host-side and stitch
+		// immediately; the inline VM set-up code never runs.
+		tbl, cost, err := setup(m)
+		if err != nil {
+			return nil, fmt.Errorf("merged set-up %s: %w", r.Name, err)
+		}
+		rc := m.Region(region)
+		rc.SetupCycles += cost
+		m.Cycles += cost
+		return rt.stitchNow(m, ms, region, ks, tbl)
+	}
+	ms.pending[region] = ks
+	return nil, nil // run inline set-up, then DYNSTITCH
+}
+
+// shared reports whether region r participates in the cross-machine cache.
+func (rt *Runtime) shared(r *tmpl.Region) bool {
+	return r.Shareable && !rt.Opts.Cache.NoShare
+}
+
+// stitchNow produces the stitched segment for (region, key) against the
+// table at tbl, caches it, and accounts the modeled stitcher cost to m.
+// For shared regions the stitch is singleflighted across machines: only
+// the winning goroutine pays (and is charged) the stitch; waiters adopt
+// the result for free, exactly like a shared-cache hit.
+func (rt *Runtime) stitchNow(m *vm.Machine, ms *machineState, region int,
+	key string, tbl int64) (*vm.Segment, error) {
+
+	r := rt.Regions[region]
+	var (
+		seg   *vm.Segment
+		stats *stitcher.Stats
+		err   error
+	)
+	if rt.shared(r) {
+		seg, stats, err = rt.stitchShared(m, region, key, tbl)
+	} else {
+		seg, stats, err = stitcher.Stitch(r, m.Mem, tbl, m.Prog.Segs[r.FuncID], rt.Opts.Stitcher)
+		if err == nil {
+			rt.privateStitches.Add(1)
+			rt.recordStats(region, key, stats)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stitch region %s: %w", r.Name, err)
+	}
+	ms.put(region, key, seg)
+	rt.keepStitched(region, seg)
+
+	if stats != nil {
+		// This goroutine ran the stitcher: account the modeled cost.
+		rc := m.Region(region)
+		rc.StitchCycles += stats.CyclesModeled
+		rc.StitchedInsts += uint64(stats.InstsStitched)
+		rc.Compiles++
+		m.Cycles += stats.CyclesModeled
+	}
+	return seg, nil
+}
+
+func (rt *Runtime) keepStitched(region int, seg *vm.Segment) {
+	if !rt.Opts.Cache.KeepStitched {
+		return
+	}
+	rt.stitchedMu.Lock()
+	for _, s := range rt.Stitched[region] {
+		if s == seg {
+			rt.stitchedMu.Unlock()
+			return // adopted from the shared cache; already recorded
+		}
+	}
+	rt.Stitched[region] = append(rt.Stitched[region], seg)
+	rt.stitchedMu.Unlock()
 }

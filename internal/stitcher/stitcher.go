@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"dyncc/internal/tmpl"
 	"dyncc/internal/vm"
@@ -54,23 +55,60 @@ const (
 	costPerLConst = 6  // install a large constant
 )
 
+// scratch holds the per-stitch working structures. Stitching is bursty —
+// a server warming K specializations runs the stitcher K times back to
+// back — so the maps and emit buffers are pooled rather than reallocated
+// per call. The final code/consts are copied into exact-size slices for
+// the segment, so pooled buffers never escape.
+type scratch struct {
+	out     []vm.Inst
+	consts  []int64
+	emitted map[string]int
+	cindex  map[int64]int
+	loops   map[int]*tmpl.Loop
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{
+			emitted: make(map[string]int, 64),
+			cindex:  make(map[int64]int, 16),
+			loops:   make(map[int]*tmpl.Loop, 8),
+		}
+	},
+}
+
 // Stitch instantiates region's templates against the run-time constants
 // table at tableBase in mem, producing an executable segment whose exits
-// XFER back into parent.
+// XFER back into parent. Stitch is safe to call concurrently (the runtime
+// singleflights concurrent stitches of the same specialization, but
+// distinct specializations may stitch in parallel).
 func Stitch(region *tmpl.Region, mem []int64, tableBase int64,
 	parent *vm.Segment, opts Options) (*vm.Segment, *Stats, error) {
 
+	sc := scratchPool.Get().(*scratch)
+	clear(sc.emitted)
+	clear(sc.cindex)
+	clear(sc.loops)
 	st := &stitch{
 		r:       region,
 		mem:     mem,
 		tbl:     tableBase,
 		opts:    opts,
-		emitted: map[string]int{},
-		cindex:  map[int64]int{},
+		out:     sc.out[:0],
+		consts:  sc.consts[:0],
+		emitted: sc.emitted,
+		cindex:  sc.cindex,
+		loops:   sc.loops,
 		stats:   &Stats{},
 	}
+	defer func() {
+		// Keep whatever (possibly grown) buffers the stitch ended with.
+		sc.out, sc.consts = st.out, st.consts
+		scratchPool.Put(sc)
+	}()
+
 	// Precompute loop lookup tables.
-	st.loops = map[int]*tmpl.Loop{}
 	for _, l := range region.Loops {
 		st.loops[l.ID] = l
 	}
@@ -97,10 +135,17 @@ func Stitch(region *tmpl.Region, mem []int64, tableBase int64,
 	st.stats.InstsStitched = len(st.out)
 	st.stats.CyclesModeled += uint64(costPerInst * len(st.out))
 
+	code := make([]vm.Inst, len(st.out))
+	copy(code, st.out)
+	var consts []int64
+	if len(st.consts) > 0 {
+		consts = make([]int64, len(st.consts))
+		copy(consts, st.consts)
+	}
 	seg := &vm.Segment{
 		Name:     region.Name + ".stitched",
-		Code:     st.out,
-		Consts:   st.consts,
+		Code:     code,
+		Consts:   consts,
 		Parent:   parent,
 		Region:   region.Index,
 		Stitched: true,

@@ -206,8 +206,8 @@ func TestStitchMinimalRegion(t *testing.T) {
 	m.Regs[20] = 5
 	// Enter the stitched segment directly.
 	parent.Code[0] = vm.Inst{Op: vm.DYNENTER, Imm: 0}
-	m.OnDynEnter = func(m *vm.Machine, region int) (*vm.Segment, int, error) {
-		return seg, 0, nil
+	m.OnDynEnter = func(m *vm.Machine, region int) (*vm.Segment, error) {
+		return seg, nil
 	}
 	got, err := m.Call("f")
 	if err != nil {

@@ -102,6 +102,17 @@ type Region struct {
 	Blocks    []*Block
 	Loops     []*Loop
 	Stats     Stats
+
+	// Shareable marks regions whose stitched code is a pure function of
+	// the key-register values: the static compiler proved that the set-up
+	// code computes the run-time constants table from the key values alone
+	// (no loads from machine memory, no calls beyond the builder's table
+	// allocations, no frame addresses). Two machines presenting the same
+	// key bytes would stitch bit-identical segments, so the runtime may
+	// hand one machine's stitched segment to another (the cross-machine
+	// shared cache). Regions that read machine memory during set-up are
+	// never shared: their tables alias per-machine data.
+	Shareable bool
 }
 
 // TemplateInsts returns the total template instruction count.

@@ -21,6 +21,14 @@ type RegionCounters struct {
 func (rc *RegionCounters) Overhead() uint64 { return rc.SetupCycles + rc.StitchCycles }
 
 // Machine executes a Program.
+//
+// Concurrency contract: a Machine is single-goroutine — its registers,
+// memory, frames and counters must only be touched by the goroutine
+// driving Call/Run. Many machines may execute the same Program
+// concurrently, each on its own goroutine; the runtime hooks below are
+// then invoked concurrently from different machines, so hook
+// implementations must be safe for cross-machine concurrency (per-machine
+// state they close over needs no locking, shared state does).
 type Machine struct {
 	Prog *Program
 	Mem  []int64
@@ -40,10 +48,13 @@ type Machine struct {
 	Trace io.Writer
 
 	// Runtime hooks for dynamic regions (wired by the rtr package).
-	// Returning a nil segment from OnDynEnter means "not compiled yet":
-	// control falls through into the inline set-up code.
-	OnDynEnter  func(m *Machine, region int) (*Segment, int, error)
-	OnDynStitch func(m *Machine, region int) (*Segment, int, error)
+	// A non-nil segment is entered at pc 0 (stitched segments always
+	// begin at their entry). Returning a nil segment from OnDynEnter
+	// means "not compiled yet": control falls through into the inline
+	// set-up code, which ends in DYNSTITCH. OnDynStitch must return a
+	// segment (the freshly stitched code) or an error.
+	OnDynEnter  func(m *Machine, region int) (*Segment, error)
+	OnDynStitch func(m *Machine, region int) (*Segment, error)
 
 	// OnReset is called by Reset: the runtime invalidates this machine's
 	// stitched-code cache (the memory holding its tables is being wiped).
@@ -466,12 +477,12 @@ func (m *Machine) run(seg *Segment) (int64, error) {
 			if m.OnDynEnter == nil {
 				return fail("dynenter without runtime")
 			}
-			ns, npc, err := m.OnDynEnter(m, int(in.Imm))
+			ns, err := m.OnDynEnter(m, int(in.Imm))
 			if err != nil {
 				return fail("%v", err)
 			}
 			if ns != nil {
-				seg, pc = ns, npc
+				seg, pc = ns, 0
 				continue
 			}
 			// Not yet compiled: fall through into inline set-up code.
@@ -479,11 +490,11 @@ func (m *Machine) run(seg *Segment) (int64, error) {
 			if m.OnDynStitch == nil {
 				return fail("dynstitch without runtime")
 			}
-			ns, npc, err := m.OnDynStitch(m, int(in.Imm))
+			ns, err := m.OnDynStitch(m, int(in.Imm))
 			if err != nil {
 				return fail("%v", err)
 			}
-			seg, pc = ns, npc
+			seg, pc = ns, 0
 			continue
 
 		default:

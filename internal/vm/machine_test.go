@@ -253,8 +253,8 @@ func TestXFERTransfersToParent(t *testing.T) {
 		{Op: XFER, Target: 2},
 	}}
 	m := NewMachine(prog, 1<<12)
-	m.OnDynEnter = func(m *Machine, region int) (*Segment, int, error) {
-		return stitched, 0, nil
+	m.OnDynEnter = func(m *Machine, region int) (*Segment, error) {
+		return stitched, nil
 	}
 	v, err := m.Call("main")
 	if err != nil {

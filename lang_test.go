@@ -79,7 +79,7 @@ int f(int a, int b, int x) {
 		}
 	}
 	// Two distinct (a,b) pairs -> two compiled versions.
-	if p.c.Runtime.Stats[0].InstsStitched == 0 {
+	if p.c.Runtime.Stats(0).InstsStitched == 0 {
 		t.Error("nothing stitched")
 	}
 	mch := m

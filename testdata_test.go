@@ -63,7 +63,8 @@ func TestPowerSpecialization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := CompileDynamic(string(src))
+	p, err := Compile(string(src), Config{Dynamic: true, Optimize: true,
+		Cache: CacheOptions{KeepStitched: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
