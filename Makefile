@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all check race bench table2 clean
+.PHONY: all check race bench bench-host table2 clean
 
 all: check
 
-# Tier 1: everything builds and the full suite passes.
+# Tier 1: everything builds, vet is clean and the full suite passes.
 check:
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test ./...
 
 # Tier 2: static analysis plus the race-enabled suite (exercises the
@@ -19,6 +20,12 @@ race:
 # sweep, written to BENCH_1.json.
 bench:
 	$(GO) run ./cmd/dynbench -parallel 8 -json BENCH_1.json
+
+# Host-side interpreter benchmarks (ns of host time per modeled guest
+# instruction), 5 samples each for benchstat. BenchmarkHostPerfNoFuse is
+# the fusion ablation.
+bench-host:
+	$(GO) test -run '^$$' -bench HostPerf -count=5 .
 
 # Regenerate the paper's tables on stdout.
 table2:

@@ -1,0 +1,64 @@
+package dyncc
+
+import (
+	"testing"
+
+	"dyncc/internal/bench"
+)
+
+// Host-side benchmarks: nanoseconds of host time per modeled guest
+// instruction, for the five Table 2 kernels plus the warm dispatch path.
+// These measure the interpreter loop itself (the paper's tables measure
+// the modeled guest machine; these measure the machine running the model).
+//
+// Run with `make bench-host` (or `go test -bench HostPerf -run ^$ -count 5`)
+// and compare runs with benchstat; b.ReportMetric publishes ns/guest-inst
+// as the benchmark's primary custom metric.
+
+func benchHostKernel(b *testing.B, k bench.HostKernel, cfg bench.Config) {
+	m, step, err := k.Setup(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.MaxCycles = 1 << 62
+	// Warm: stitch every specialization the use pattern touches so the
+	// timed loop measures warm dispatch, not compilation.
+	for i := 0; i < 100; i++ {
+		if err := step(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	insts0 := m.Insts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := step(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if insts := m.Insts - insts0; insts > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/guest-inst")
+		b.ReportMetric(float64(insts)/float64(b.N), "guest-insts/op")
+	}
+}
+
+// BenchmarkHostPerf times every host kernel with the production
+// configuration (fusion on).
+func BenchmarkHostPerf(b *testing.B) {
+	for _, k := range bench.HostKernels() {
+		b.Run(k.Name, func(b *testing.B) {
+			benchHostKernel(b, k, bench.Config{})
+		})
+	}
+}
+
+// BenchmarkHostPerfNoFuse is the ablation: the same kernels with
+// superinstruction fusion disabled, isolating the dispatch-loop win from
+// the fusion win.
+func BenchmarkHostPerfNoFuse(b *testing.B) {
+	for _, k := range bench.HostKernels() {
+		b.Run(k.Name, func(b *testing.B) {
+			benchHostKernel(b, k, bench.Config{NoFuse: true})
+		})
+	}
+}

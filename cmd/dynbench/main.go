@@ -17,15 +17,20 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"dyncc/internal/bench"
 )
 
 // jsonReport is the schema written by -json.
 type jsonReport struct {
-	Table2 []jsonRow `json:"table2"`
+	Table2 []jsonRow `json:"table2,omitempty"`
 	// Parallel is present only when -parallel is given.
 	Parallel []*bench.ParallelResult `json:"parallel,omitempty"`
+	// Host sections are present only when -hostperf is given.
+	Host           []*bench.HostResult     `json:"host,omitempty"`
+	HostBaseline   []*bench.HostResult     `json:"host_baseline,omitempty"`
+	HostComparison []*bench.HostComparison `json:"host_comparison,omitempty"`
 	// GOMAXPROCS records how many OS threads the parallel sweep could
 	// actually use, so scaling numbers can be interpreted.
 	GOMAXPROCS int `json:"gomaxprocs"`
@@ -53,11 +58,19 @@ func main() {
 	uses := flag.Int("uses", 0, "override workload size")
 	parallel := flag.Int("parallel", 0, "run the parallel-machines sweep up to N machines")
 	jsonPath := flag.String("json", "", "also write measurements to this file as JSON")
+	hostperf := flag.Bool("hostperf", false, "measure host ns per guest instruction instead of the guest-cycle tables")
+	hostBase := flag.String("hostbaseline", "", "baseline JSON (a previous -hostperf run) to compare against")
+	hostDur := flag.Duration("hostdur", 300*time.Millisecond, "minimum timed window per host-perf kernel")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "dynbench:", err)
 		os.Exit(1)
+	}
+
+	if *hostperf {
+		runHostPerf(*hostBase, *jsonPath, *hostDur, fail)
+		return
 	}
 
 	cfg := bench.Config{Uses: *uses, MergedStitch: *merged}
@@ -126,5 +139,48 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// runHostPerf measures host ns per guest instruction (the interpreter-loop
+// cost the fusion pipeline and attribution plan optimize), optionally
+// comparing against a recorded baseline, and writes BENCH_2.json-style
+// output when -json is given.
+func runHostPerf(basePath, jsonPath string, minDur time.Duration, fail func(error)) {
+	rows, err := bench.HostPerf(bench.Config{}, minDur)
+	if err != nil {
+		fail(err)
+	}
+	var baseline []*bench.HostResult
+	if basePath != "" {
+		data, err := os.ReadFile(basePath)
+		if err != nil {
+			fail(err)
+		}
+		var rep jsonReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fail(fmt.Errorf("parse %s: %w", basePath, err))
+		}
+		baseline = rep.Host
+	}
+	cmp := bench.CompareHost(rows, baseline)
+	fmt.Println("Host performance: ns per guest instruction (warm interpreter loop)")
+	bench.PrintHost(os.Stdout, rows, cmp)
+
+	if jsonPath != "" {
+		rep := jsonReport{
+			Host:           rows,
+			HostBaseline:   baseline,
+			HostComparison: cmp,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		}
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ func main() {
 	optimize := flag.Bool("O", true, "run the static optimizer")
 	fn := flag.String("func", "main", "function to call")
 	mem := flag.Int("mem", 0, "VM memory in words (0 = default)")
+	trace := flag.String("trace", "", "write a per-instruction execution trace to this file (- for stderr)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -45,8 +47,28 @@ func main() {
 	}
 	m := c.NewMachine(*mem)
 	m.Output = os.Stdout
+	flushTrace := func() {}
+	if *trace != "" {
+		// Tracing emits one line per instruction; buffer it so the trace
+		// write doesn't dominate the run it is observing.
+		dst := os.Stderr
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dynrun:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			dst = f
+		}
+		w := bufio.NewWriterSize(dst, 1<<20)
+		defer w.Flush()
+		flushTrace = func() { w.Flush() }
+		m.Trace = w
+	}
 	ret, err := m.Call(*fn, args...)
 	if err != nil {
+		flushTrace() // keep the trace up to the trap (os.Exit skips defers)
 		fmt.Fprintln(os.Stderr, "dynrun:", err)
 		os.Exit(1)
 	}

@@ -47,6 +47,10 @@ type Config struct {
 	// NoStrengthReduction disables the stitcher's value-based peephole
 	// rewrites (ablation).
 	NoStrengthReduction bool
+	// NoFuse disables superinstruction fusion (stitch-time and static;
+	// ablation). Fusion is host-side only: modeled guest cycles,
+	// instruction counts and all results are identical either way.
+	NoFuse bool
 	// RegisterActions enables the paper's section 5 extension: the
 	// stitcher promotes constant-offset stack words to reserved registers.
 	RegisterActions bool
@@ -89,6 +93,7 @@ func Compile(src string, cfg Config) (*Program, error) {
 		MergedStitch: cfg.MergedStitch,
 		Stitcher: stitcher.Options{
 			NoStrengthReduction: cfg.NoStrengthReduction,
+			NoFuse:              cfg.NoFuse,
 			RegisterActions:     cfg.RegisterActions,
 		},
 		Cache: rtr.CacheOptions{
@@ -147,6 +152,10 @@ func (ma *Machine) Mem() []int64 { return ma.m.Mem }
 
 // Cycles returns total executed cycles.
 func (ma *Machine) Cycles() uint64 { return ma.m.Cycles }
+
+// Insts returns total executed guest instructions (fused superinstructions
+// count as the instructions they replaced).
+func (ma *Machine) Insts() uint64 { return ma.m.Insts }
 
 // ResetCounters clears cycle counters and region statistics.
 func (ma *Machine) ResetCounters() { ma.m.ResetCounters() }

@@ -19,6 +19,7 @@ import (
 type Config struct {
 	RegisterActions     bool
 	NoStrengthReduction bool
+	NoFuse              bool // disable superinstruction fusion (ablation)
 	MergedStitch        bool // paper section 7: one-pass set-up + stitch
 	// Uses overrides the default workload size (0 keeps the default).
 	Uses int
@@ -71,7 +72,8 @@ type benchmark struct {
 
 // compileBoth compiles the benchmark statically and dynamically.
 func compileBoth(src string, cfg Config) (stat, dyn *core.Compiled, err error) {
-	stat, err = core.Compile(src, core.Config{Dynamic: false, Optimize: true})
+	stat, err = core.Compile(src, core.Config{Dynamic: false, Optimize: true,
+		Stitcher: stitcher.Options{NoFuse: cfg.NoFuse}})
 	if err != nil {
 		return nil, nil, fmt.Errorf("static: %w", err)
 	}
@@ -80,6 +82,7 @@ func compileBoth(src string, cfg Config) (stat, dyn *core.Compiled, err error) {
 		Stitcher: stitcher.Options{
 			RegisterActions:     cfg.RegisterActions,
 			NoStrengthReduction: cfg.NoStrengthReduction,
+			NoFuse:              cfg.NoFuse,
 		}})
 	if err != nil {
 		return nil, nil, fmt.Errorf("dynamic: %w", err)

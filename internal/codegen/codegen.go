@@ -22,11 +22,18 @@ type Output struct {
 	FuncAlloc map[string]*regalloc.Allocation
 }
 
+// Options configures code generation.
+type Options struct {
+	// NoFuse disables static-code superinstruction fusion (ablation
+	// switch; fusion is host-side only and modeled-cost neutral).
+	NoFuse bool
+}
+
 // Compile translates a lowered (and, in dynamic mode, split) module into a
 // VM program plus region templates. splits maps each region to its split
 // result; a nil map (or missing entries) means the region is compiled
 // statically and only instrumented.
-func Compile(mod *ir.Module, splits map[*ir.Region]*split.Result) (*Output, error) {
+func Compile(mod *ir.Module, splits map[*ir.Region]*split.Result, opts Options) (*Output, error) {
 	prog := &vm.Program{
 		FuncIndex:   map[string]int{},
 		GlobalWords: mod.GlobalWords,
@@ -57,6 +64,7 @@ func Compile(mod *ir.Module, splits map[*ir.Region]*split.Result) (*Output, erro
 			regionIdx: regionIdx,
 			labels:    map[*ir.Block]int{},
 			holes:     map[ir.Value]split.SlotRef{},
+			noFuse:    opts.NoFuse,
 		}
 		seg, regions, err := fg.gen()
 		if err != nil {
@@ -104,6 +112,7 @@ type funcGen struct {
 
 	exitFixups []exitFixup
 	static     bool // this function's regions are compiled statically
+	noFuse     bool // disable superinstruction fusion
 
 	// tables collects jump-table targets (as blocks) until labels are final.
 	tables [][]*ir.Block
@@ -201,6 +210,7 @@ func (fg *funcGen) gen() (*vm.Segment, []*tmpl.Region, error) {
 	}
 	fg.resolveFixups()
 	fg.peephole()
+	fg.fuse()
 
 	// Templates.
 	var regions []*tmpl.Region
@@ -245,15 +255,24 @@ func (fg *funcGen) gen() (*vm.Segment, []*tmpl.Region, error) {
 		seg.JumpTables = append(seg.JumpTables, tbl)
 	}
 	if fg.static {
-		seg.RegionEntryAt = map[int]int{}
+		entry := make([]int32, len(fg.code))
+		for i := range entry {
+			entry[i] = -1
+		}
+		any := false
 		for _, r := range f.Regions {
 			if fg.splits[r] == nil {
 				if pc, ok := fg.labels[r.Entry]; ok {
-					seg.RegionEntryAt[pc] = fg.regionIdx[r]
+					entry[pc] = int32(fg.regionIdx[r])
+					any = true
 				}
 			}
 		}
+		if any {
+			seg.RegionEntry = entry
+		}
 	}
+	seg.Prepare()
 	return seg, regions, nil
 }
 

@@ -34,7 +34,7 @@ func compileProg(t *testing.T, src string, dynamic bool) (*codegen.Output, *ir.M
 			}
 		}
 	}
-	out, err := codegen.Compile(mod, splits)
+	out, err := codegen.Compile(mod, splits, codegen.Options{})
 	if err != nil {
 		t.Fatalf("codegen: %v", err)
 	}
@@ -225,7 +225,13 @@ int f(int c, int x) {
     return r;
 }`, false)
 	seg := out.Prog.Segs[out.Prog.FuncID("f")]
-	if len(seg.RegionEntryAt) != 1 {
-		t.Errorf("static region entry markers: %d", len(seg.RegionEntryAt))
+	n := 0
+	for _, r := range seg.RegionEntry {
+		if r >= 0 {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("static region entry markers: %d", n)
 	}
 }

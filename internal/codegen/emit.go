@@ -206,6 +206,41 @@ func (fg *funcGen) peephole() {
 	}
 }
 
+// fuse runs the superinstruction pipeline over the finished function body.
+// Every label (branch, jump-table and region-exit anchor) is declared a
+// leader so no external reference crosses a fused pair, and static region
+// entries keep their invocation markers. Runs before emitTemplates and the
+// final label consumers, which all see the remapped pcs.
+func (fg *funcGen) fuse() {
+	if fg.noFuse {
+		return
+	}
+	leaders := make([]int, 0, len(fg.labels))
+	for _, pc := range fg.labels {
+		leaders = append(leaders, pc)
+	}
+	var entries []int
+	if fg.static {
+		for _, r := range fg.f.Regions {
+			if fg.splits[r] == nil {
+				if pc, ok := fg.labels[r.Entry]; ok {
+					entries = append(entries, pc)
+				}
+			}
+		}
+	}
+	fr := vm.Fuse(fg.code, vm.FuseOptions{
+		RegionOf: fg.regionOf,
+		SetupOf:  fg.setupOf,
+		Leaders:  leaders,
+		EntryPCs: entries,
+	})
+	fg.code, fg.regionOf, fg.setupOf = fr.Code, fr.RegionOf, fr.SetupOf
+	for b, pc := range fg.labels {
+		fg.labels[b] = fr.PCMap[pc]
+	}
+}
+
 // ---------------------------------------------------------------- templates
 
 // emitTemplates produces the template blocks, holes, terminator metadata

@@ -93,7 +93,12 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 		}
 	}
 
-	out, err := codegen.Compile(mod, splits)
+	// Static-code fusion rides the optimizer switch; the stitcher's NoFuse
+	// ablation turns it off everywhere at once so fused-vs-unfused
+	// differential runs compare whole configurations.
+	out, err := codegen.Compile(mod, splits, codegen.Options{
+		NoFuse: cfg.Stitcher.NoFuse || !cfg.Optimize,
+	})
 	if err != nil {
 		return nil, err
 	}

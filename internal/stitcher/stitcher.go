@@ -23,6 +23,9 @@ type Options struct {
 	// NoStrengthReduction disables the value-based peephole rewrites
 	// (ablation switch; the paper's Table 3 "strength reduction" column).
 	NoStrengthReduction bool
+	// NoFuse disables post-stitch superinstruction fusion (ablation
+	// switch; fusion is host-side only and modeled-cost neutral).
+	NoFuse bool
 	// RegisterActions enables the Wall-style register-action extension
 	// (paper section 5): promotion of stack/array slots addressed by
 	// run-time-constant offsets into reserved registers.
@@ -40,6 +43,7 @@ type Stats struct {
 	LoadsPromoted      int // register actions: loads replaced by registers
 	StoresPromoted     int
 	CyclesModeled      uint64
+	Fusion             vm.FuseStats // post-stitch superinstruction fusion
 }
 
 // Modeled cycle costs of stitcher work, charged per action. The stitcher
@@ -137,6 +141,16 @@ func Stitch(region *tmpl.Region, mem []int64, tableBase int64,
 
 	code := make([]vm.Inst, len(st.out))
 	copy(code, st.out)
+	if !opts.NoFuse {
+		// Superinstruction fusion on the finished stitch. Runs after the
+		// stats above so Table 2/3 report the pre-fusion stitch work;
+		// modeled guest cycles are unchanged by construction. Stitched
+		// code has uniform attribution, no entry markers and no jump
+		// tables; its XFERs target the parent and are left alone.
+		fr := vm.Fuse(code, vm.FuseOptions{})
+		code = fr.Code
+		st.stats.Fusion = fr.Stats
+	}
 	var consts []int64
 	if len(st.consts) > 0 {
 		consts = make([]int64, len(st.consts))
@@ -150,6 +164,7 @@ func Stitch(region *tmpl.Region, mem []int64, tableBase int64,
 		Region:   region.Index,
 		Stitched: true,
 	}
+	seg.Prepare() // pay plan derivation at stitch time, not first run
 	return seg, st.stats, nil
 }
 

@@ -52,7 +52,38 @@ func Cost(op Op) uint64 {
 		return CostAlloc
 	case DYNENTER, DYNSTITCH:
 		return CostHook
+	case CMPBR, CMPBRI:
+		return CostBranch // + Cost(Sub) for the folded compare; see StaticCost
+	case LDOP, LDOPR:
+		return CostLoad // + Cost(Sub) for the folded ALU op; see StaticCost
+	case MADDI:
+		return CostMul + CostALU // the MULI+ADD pair it replaces
 	default:
 		return CostALU
 	}
+}
+
+// StaticCost returns the statically determinable modeled cycle cost of in:
+// the base opcode cost, the folded sub-operation of a fused
+// superinstruction, and cycles absorbed from host-eliminated instructions
+// (XCost). Branch-taken and oversized-LI penalties remain dynamic.
+func StaticCost(in *Inst) uint64 {
+	c := Cost(in.Op) + uint64(in.XCost)
+	switch in.Op {
+	case CMPBR, CMPBRI, LDOP, LDOPR:
+		c += Cost(in.Sub)
+	}
+	return c
+}
+
+// InstCount returns how many guest instructions in represents: fused
+// superinstructions count as the pair they replaced, and XInsts carries
+// host-eliminated instructions absorbed into this one.
+func InstCount(in *Inst) uint64 {
+	n := uint64(1) + uint64(in.XInsts)
+	switch in.Op {
+	case CMPBR, CMPBRI, LDOP, LDOPR, MADDI:
+		n++
+	}
+	return n
 }

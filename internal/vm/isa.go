@@ -125,6 +125,17 @@ const (
 	DYNENTER  // Imm = region index; dispatcher may transfer to stitched code
 	DYNSTITCH // Imm = region index; stitch now, then transfer to stitched code
 
+	// Fused superinstructions, produced only by the host-side fusion
+	// pipeline (fuse.go). Each behaves exactly like the adjacent pair of
+	// ordinary instructions it replaced and is charged the pair's modeled
+	// cost, so guest-observable cycle and instruction counts are unchanged;
+	// the win is one interpreter dispatch instead of two.
+	CMPBR  // if (Rs cmp Rt) == (Rd != 0) goto Target; compare op in Sub
+	CMPBRI // if (Rs cmp Imm) == (Rd != 0) goto Target; register-form compare op in Sub
+	LDOP   // Rd = Rt subop Mem[Rs+Imm]; ALU op in Sub
+	LDOPR  // Rd = Mem[Rs+Imm] subop Rt; ALU op in Sub
+	MADDI  // Rd = Rt + Rs*Imm (fused MULI+ADD address arithmetic)
+
 	numOps
 )
 
@@ -146,6 +157,7 @@ var opNames = [numOps]string{
 	BEQZ: "beqz", BNEZ: "bnez", BEQI: "beqi", BR: "br", JTBL: "jtbl",
 	CALL: "call", RET: "ret", XFER: "xfer", HALT: "halt",
 	DYNENTER: "dynenter", DYNSTITCH: "dynstitch",
+	CMPBR: "cmpbr", CMPBRI: "cmpbri", LDOP: "ldop", LDOPR: "ldopr", MADDI: "maddi",
 }
 
 // String returns the opcode mnemonic.
@@ -260,11 +272,22 @@ func ImmToRegForm(o Op) Op {
 }
 
 // Inst is one machine instruction.
+//
+// Sub, XCost and XInsts exist for the host-side fusion pipeline (fuse.go)
+// and are zero everywhere else. Sub selects the folded second operation of
+// a fused superinstruction. XCost/XInsts carry the modeled cycles and
+// instruction count of instructions the pipeline eliminated (dead moves,
+// threaded branches), absorbed into an instruction that executes exactly
+// when the eliminated ones would have — keeping guest counters identical
+// while the host executes fewer dispatches.
 type Inst struct {
 	Op     Op
 	Rd     Reg
 	Rs     Reg
 	Rt     Reg
+	Sub    Op    // fused sub-operation (CMPBR/CMPBRI/LDOP/LDOPR)
+	XCost  uint8 // absorbed extra modeled cycles
+	XInsts uint8 // absorbed extra modeled instruction count
 	Imm    int64 // immediate value, memory offset, function or region index
 	Target int   // branch target: instruction index within the segment
 }
@@ -301,6 +324,21 @@ func (i Inst) String() string {
 		return fmt.Sprintf("call f%d", i.Imm)
 	case DYNENTER, DYNSTITCH:
 		return fmt.Sprintf("%s region%d", i.Op, i.Imm)
+	case CMPBR, CMPBRI:
+		sense := "!"
+		if i.Rd != 0 {
+			sense = ""
+		}
+		if i.Op == CMPBRI {
+			return fmt.Sprintf("cmpbri %s%s %s, %d, @%d", sense, i.Sub, r(i.Rs), i.Imm, i.Target)
+		}
+		return fmt.Sprintf("cmpbr %s%s %s, %s, @%d", sense, i.Sub, r(i.Rs), r(i.Rt), i.Target)
+	case LDOP:
+		return fmt.Sprintf("ldop.%s %s, %s, [%s+%d]", i.Sub, r(i.Rd), r(i.Rt), r(i.Rs), i.Imm)
+	case LDOPR:
+		return fmt.Sprintf("ldopr.%s %s, [%s+%d], %s", i.Sub, r(i.Rd), r(i.Rs), i.Imm, r(i.Rt))
+	case MADDI:
+		return fmt.Sprintf("maddi %s, %s*%d, %s", r(i.Rd), r(i.Rs), i.Imm, r(i.Rt))
 	}
 	if i.Op.HasImmOperand() {
 		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Rs), i.Imm)

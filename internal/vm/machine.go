@@ -175,299 +175,501 @@ func (m *Machine) CallF(name string, args ...float64) (float64, error) {
 	return math.Float64frombits(uint64(r)), err
 }
 
+// vmErrorf builds a vm error without closing over loop state.
+func vmErrorf(seg *Segment, pc int, format string, args ...any) error {
+	return &vmError{seg: seg, pc: pc, msg: fmt.Sprintf(format, args...)}
+}
+
+// trapUnwind reverses the batched block pre-charge for the unexecuted tail
+// (pc+1 .. blkEnd) when an instruction traps mid-block, restoring the
+// exact counters the seed per-instruction loop would have left. A no-op in
+// exact mode (blkEnd == 0) and for block-terminal traps.
+func (m *Machine) trapUnwind(pl *execPlan, pc, blkEnd int, region int32, setup bool) {
+	if blkEnd <= pc+1 {
+		return
+	}
+	over := pl.costTo[blkEnd] - pl.costTo[pc+1]
+	xover := pl.xtraTo[blkEnd] - pl.xtraTo[pc+1]
+	m.Cycles -= over + xover
+	m.Insts -= pl.instsTo[blkEnd] - pl.instsTo[pc+1]
+	if region >= 0 {
+		rc := m.Region(int(region))
+		if setup {
+			rc.SetupCycles -= over
+		} else {
+			rc.ExecCycles -= over
+		}
+	}
+}
+
+// trap unwinds any batched over-charge and returns the execution error.
+func (m *Machine) trap(pl *execPlan, seg *Segment, pc, blkEnd int, region int32,
+	setup bool, format string, args ...any) (int64, error) {
+	m.trapUnwind(pl, pc, blkEnd, region, setup)
+	return 0, vmErrorf(seg, pc, format, args...)
+}
+
+// takenCharge adds the branch-taken penalty with the current attribution
+// (rc is the cached counter pointer for the attributed region, nil when
+// the instruction is unattributed).
+func (m *Machine) takenCharge(rc *RegionCounters, setup bool) {
+	m.Cycles += CostTaken
+	if rc != nil {
+		if setup {
+			rc.SetupCycles += CostTaken
+		} else {
+			rc.ExecCycles += CostTaken
+		}
+	}
+}
+
+// cmpEval evaluates the folded compare of a fused CMPBR/CMPBRI.
+func cmpEval(op Op, a, b int64) bool {
+	switch op {
+	case SEQ:
+		return a == b
+	case SNE:
+		return a != b
+	case SLT:
+		return a < b
+	case SLE:
+		return a <= b
+	case SLTU:
+		return uint64(a) < uint64(b)
+	case SLEU:
+		return uint64(a) <= uint64(b)
+	case FEQ:
+		return f64(a) == f64(b)
+	case FNE:
+		return f64(a) != f64(b)
+	case FLT:
+		return f64(a) < f64(b)
+	case FLE:
+		return f64(a) <= f64(b)
+	}
+	return false
+}
+
+// aluEval evaluates the folded (trap-free) ALU op of a fused LDOP/LDOPR.
+func aluEval(op Op, a, b int64) int64 {
+	switch op {
+	case ADD:
+		return a + b
+	case SUB:
+		return a - b
+	case MUL:
+		return a * b
+	case AND:
+		return a & b
+	case OR:
+		return a | b
+	case XOR:
+		return a ^ b
+	case SHL:
+		return a << uint64(b&63)
+	case SHR:
+		return a >> uint64(b&63)
+	case SHRU:
+		return int64(uint64(a) >> uint64(b&63))
+	case SEQ:
+		return b2i(a == b)
+	case SNE:
+		return b2i(a != b)
+	case SLT:
+		return b2i(a < b)
+	case SLE:
+		return b2i(a <= b)
+	case SLTU:
+		return b2i(uint64(a) < uint64(b))
+	case SLEU:
+		return b2i(uint64(a) <= uint64(b))
+	case FADD:
+		return int64(math.Float64bits(f64(a) + f64(b)))
+	case FSUB:
+		return int64(math.Float64bits(f64(a) - f64(b)))
+	case FMUL:
+		return int64(math.Float64bits(f64(a) * f64(b)))
+	}
+	return 0
+}
+
+// run is the interpreter hot path. Where the seed re-derived attribution
+// and created closures on every instruction, this loop consults the
+// segment's precomputed execution plan: at each basic-block entry the
+// whole block's cycles, instruction count, attribution and region-entry
+// marker are charged with one update per counter, and the block body then
+// executes with no per-instruction accounting at all. Exact
+// per-instruction accounting (identical to the seed's) handles tracing,
+// near-exhausted cycle budgets, and mid-block entry; mid-block traps
+// unwind the pre-charged tail. Guest-visible counters are bit-identical
+// to the seed loop in all cases.
 func (m *Machine) run(seg *Segment) (int64, error) {
 	pc := 0
 	baseFrames := len(m.frames)
-	fail := func(format string, args ...any) (int64, error) {
-		return 0, &vmError{seg: seg, pc: pc, msg: fmt.Sprintf(format, args...)}
+	pl := seg.execPlan()
+	code := seg.Code
+	if n := m.Prog.NumRegions; n > 0 {
+		// Pre-grow the counters slice so per-region pointers are stable
+		// for the whole run and can be cached across blocks.
+		m.Region(n - 1)
 	}
 
+	var (
+		blkEnd   int                  // exclusive end of the batched block; 0 = none active
+		atRegion int32           = -2 // attribution of the current instruction (-2: nothing cached yet)
+		atRC     *RegionCounters      // cached counters for atRegion; nil when unattributed
+		atSetup  bool
+	)
+
 	for {
-		if pc < 0 || pc >= len(seg.Code) {
-			return fail("pc out of range (%d/%d)", pc, len(seg.Code))
+		if pc < 0 || pc >= len(code) {
+			return 0, vmErrorf(seg, pc, "pc out of range (%d/%d)", pc, len(code))
 		}
-		in := &seg.Code[pc]
-		c := Cost(in.Op)
-
-		// Attribute cycles.
-		m.Insts++
-		if seg.Stitched && seg.Region >= 0 {
-			m.Region(seg.Region).ExecCycles += c
-		} else if seg.RegionOf != nil && seg.RegionOf[pc] >= 0 {
-			rc := m.Region(int(seg.RegionOf[pc]))
-			if seg.SetupOf != nil && seg.SetupOf[pc] {
-				rc.SetupCycles += c
+		exact := false
+		if pc >= blkEnd {
+			b := &pl.blocks[pl.blockAt[pc]]
+			if m.Trace == nil && pc == int(b.start) && m.Cycles+b.cost+b.xtra <= m.MaxCycles {
+				// Charge the whole straight-line block up front.
+				m.Insts += b.insts
+				m.Cycles += b.cost + b.xtra
+				if b.entry >= 0 {
+					m.Region(int(b.entry)).Invocations++
+				}
+				if b.region != atRegion {
+					atRegion = b.region
+					atRC = nil
+					if atRegion >= 0 {
+						atRC = m.Region(int(atRegion))
+					}
+				}
+				atSetup = b.setup
+				if atRC != nil {
+					if atSetup {
+						atRC.SetupCycles += b.cost
+					} else {
+						atRC.ExecCycles += b.cost
+					}
+				}
+				blkEnd = int(b.end)
 			} else {
-				rc.ExecCycles += c
+				exact = true
+				blkEnd = 0
 			}
 		}
-		if seg.RegionEntryAt != nil {
-			if r, ok := seg.RegionEntryAt[pc]; ok {
-				m.Region(r).Invocations++
-			}
-		}
-		m.Cycles += c
-		if m.Cycles > m.MaxCycles {
-			return fail("cycle budget exhausted (%d)", m.MaxCycles)
-		}
-
-		taken := func() {
-			m.Cycles += CostTaken
-			if seg.Stitched && seg.Region >= 0 {
-				m.Region(seg.Region).ExecCycles += CostTaken
-			} else if seg.RegionOf != nil && seg.RegionOf[pc] >= 0 {
-				rc := m.Region(int(seg.RegionOf[pc]))
-				if seg.SetupOf != nil && seg.SetupOf[pc] {
-					rc.SetupCycles += CostTaken
-				} else {
-					rc.ExecCycles += CostTaken
+		in := &code[pc]
+		if exact {
+			// Seed-identical per-instruction accounting.
+			c := uint64(pl.costAt[pc])
+			m.Insts += uint64(pl.instsAt[pc])
+			if r := pl.regionAt[pc]; r != atRegion {
+				atRegion = r
+				atRC = nil
+				if r >= 0 {
+					atRC = m.Region(int(r))
 				}
 			}
-		}
-
-		if m.Trace != nil {
-			fmt.Fprintf(m.Trace, "%-20s %4d: %-28s rd=%d rs=%d rt=%d\n",
-				seg.Name, pc, in.String(), m.Regs[in.Rd], m.Regs[in.Rs], m.Regs[in.Rt])
-		}
-
-		rs, rt := m.Regs[in.Rs], m.Regs[in.Rt]
-		setRd := func(v int64) {
-			if in.Rd != RZero {
-				m.Regs[in.Rd] = v
+			atSetup = pl.setupAt[pc]
+			if atRC != nil {
+				if atSetup {
+					atRC.SetupCycles += c
+				} else {
+					atRC.ExecCycles += c
+				}
+			}
+			if e := pl.entryAt[pc]; e >= 0 {
+				m.Region(int(e)).Invocations++
+			}
+			m.Cycles += c
+			if m.Cycles > m.MaxCycles {
+				return 0, vmErrorf(seg, pc, "cycle budget exhausted (%d)", m.MaxCycles)
+			}
+			if m.Trace != nil {
+				fmt.Fprintf(m.Trace, "%-20s %4d: %-28s rd=%d rs=%d rt=%d\n",
+					seg.Name, pc, in.String(), m.Regs[in.Rd&63], m.Regs[in.Rs&63], m.Regs[in.Rt&63])
 			}
 		}
+
+		rs, rt := m.Regs[in.Rs&63], m.Regs[in.Rt&63]
 
 		switch in.Op {
 		case NOP:
 		case LI:
-			setRd(in.Imm)
-			if !FitsImm(in.Imm) {
-				m.Cycles++ // wide-constant materialization penalty
+			m.Regs[in.Rd&63] = in.Imm
+			if exact && !FitsImm(in.Imm) {
+				m.Cycles++ // wide-constant penalty (pre-charged when batched)
 			}
 		case MOV:
-			setRd(rs)
+			m.Regs[in.Rd&63] = rs
 		case ADD:
-			setRd(rs + rt)
+			m.Regs[in.Rd&63] = rs + rt
 		case SUB:
-			setRd(rs - rt)
+			m.Regs[in.Rd&63] = rs - rt
 		case MUL:
-			setRd(rs * rt)
+			m.Regs[in.Rd&63] = rs * rt
 		case DIV:
 			if rt == 0 {
-				return fail("integer divide by zero")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "integer divide by zero")
 			}
-			setRd(rs / rt)
+			m.Regs[in.Rd&63] = rs / rt
 		case UDIV:
 			if rt == 0 {
-				return fail("integer divide by zero")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "integer divide by zero")
 			}
-			setRd(int64(uint64(rs) / uint64(rt)))
+			m.Regs[in.Rd&63] = int64(uint64(rs) / uint64(rt))
 		case MOD:
 			if rt == 0 {
-				return fail("integer modulus by zero")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "integer modulus by zero")
 			}
-			setRd(rs % rt)
+			m.Regs[in.Rd&63] = rs % rt
 		case UMOD:
 			if rt == 0 {
-				return fail("integer modulus by zero")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "integer modulus by zero")
 			}
-			setRd(int64(uint64(rs) % uint64(rt)))
+			m.Regs[in.Rd&63] = int64(uint64(rs) % uint64(rt))
 		case AND:
-			setRd(rs & rt)
+			m.Regs[in.Rd&63] = rs & rt
 		case OR:
-			setRd(rs | rt)
+			m.Regs[in.Rd&63] = rs | rt
 		case XOR:
-			setRd(rs ^ rt)
+			m.Regs[in.Rd&63] = rs ^ rt
 		case SHL:
-			setRd(rs << uint64(rt&63))
+			m.Regs[in.Rd&63] = rs << uint64(rt&63)
 		case SHR:
-			setRd(rs >> uint64(rt&63))
+			m.Regs[in.Rd&63] = rs >> uint64(rt&63)
 		case SHRU:
-			setRd(int64(uint64(rs) >> uint64(rt&63)))
+			m.Regs[in.Rd&63] = int64(uint64(rs) >> uint64(rt&63))
 		case SEQ:
-			setRd(b2i(rs == rt))
+			m.Regs[in.Rd&63] = b2i(rs == rt)
 		case SNE:
-			setRd(b2i(rs != rt))
+			m.Regs[in.Rd&63] = b2i(rs != rt)
 		case SLT:
-			setRd(b2i(rs < rt))
+			m.Regs[in.Rd&63] = b2i(rs < rt)
 		case SLE:
-			setRd(b2i(rs <= rt))
+			m.Regs[in.Rd&63] = b2i(rs <= rt)
 		case SLTU:
-			setRd(b2i(uint64(rs) < uint64(rt)))
+			m.Regs[in.Rd&63] = b2i(uint64(rs) < uint64(rt))
 		case SLEU:
-			setRd(b2i(uint64(rs) <= uint64(rt)))
+			m.Regs[in.Rd&63] = b2i(uint64(rs) <= uint64(rt))
 		case NEG:
-			setRd(-rs)
+			m.Regs[in.Rd&63] = -rs
 		case NOT:
-			setRd(^rs)
+			m.Regs[in.Rd&63] = ^rs
 
 		case ADDI:
-			setRd(rs + in.Imm)
+			m.Regs[in.Rd&63] = rs + in.Imm
 		case SUBI:
-			setRd(rs - in.Imm)
+			m.Regs[in.Rd&63] = rs - in.Imm
 		case MULI:
-			setRd(rs * in.Imm)
+			m.Regs[in.Rd&63] = rs * in.Imm
 		case DIVI:
 			if in.Imm == 0 {
-				return fail("integer divide by zero")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "integer divide by zero")
 			}
-			setRd(rs / in.Imm)
+			m.Regs[in.Rd&63] = rs / in.Imm
 		case UDIVI:
 			if in.Imm == 0 {
-				return fail("integer divide by zero")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "integer divide by zero")
 			}
-			setRd(int64(uint64(rs) / uint64(in.Imm)))
+			m.Regs[in.Rd&63] = int64(uint64(rs) / uint64(in.Imm))
 		case MODI:
 			if in.Imm == 0 {
-				return fail("integer modulus by zero")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "integer modulus by zero")
 			}
-			setRd(rs % in.Imm)
+			m.Regs[in.Rd&63] = rs % in.Imm
 		case UMODI:
 			if in.Imm == 0 {
-				return fail("integer modulus by zero")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "integer modulus by zero")
 			}
-			setRd(int64(uint64(rs) % uint64(in.Imm)))
+			m.Regs[in.Rd&63] = int64(uint64(rs) % uint64(in.Imm))
 		case ANDI:
-			setRd(rs & in.Imm)
+			m.Regs[in.Rd&63] = rs & in.Imm
 		case ORI:
-			setRd(rs | in.Imm)
+			m.Regs[in.Rd&63] = rs | in.Imm
 		case XORI:
-			setRd(rs ^ in.Imm)
+			m.Regs[in.Rd&63] = rs ^ in.Imm
 		case SHLI:
-			setRd(rs << uint64(in.Imm&63))
+			m.Regs[in.Rd&63] = rs << uint64(in.Imm&63)
 		case SHRI:
-			setRd(rs >> uint64(in.Imm&63))
+			m.Regs[in.Rd&63] = rs >> uint64(in.Imm&63)
 		case SHRUI:
-			setRd(int64(uint64(rs) >> uint64(in.Imm&63)))
+			m.Regs[in.Rd&63] = int64(uint64(rs) >> uint64(in.Imm&63))
 		case SEQI:
-			setRd(b2i(rs == in.Imm))
+			m.Regs[in.Rd&63] = b2i(rs == in.Imm)
 		case SNEI:
-			setRd(b2i(rs != in.Imm))
+			m.Regs[in.Rd&63] = b2i(rs != in.Imm)
 		case SLTI:
-			setRd(b2i(rs < in.Imm))
+			m.Regs[in.Rd&63] = b2i(rs < in.Imm)
 		case SLEI:
-			setRd(b2i(rs <= in.Imm))
+			m.Regs[in.Rd&63] = b2i(rs <= in.Imm)
 		case SLTUI:
-			setRd(b2i(uint64(rs) < uint64(in.Imm)))
+			m.Regs[in.Rd&63] = b2i(uint64(rs) < uint64(in.Imm))
 		case SLEUI:
-			setRd(b2i(uint64(rs) <= uint64(in.Imm)))
+			m.Regs[in.Rd&63] = b2i(uint64(rs) <= uint64(in.Imm))
 
 		case FADD:
-			setRd(fop(rs, rt, func(a, b float64) float64 { return a + b }))
+			m.Regs[in.Rd&63] = int64(math.Float64bits(f64(rs) + f64(rt)))
 		case FSUB:
-			setRd(fop(rs, rt, func(a, b float64) float64 { return a - b }))
+			m.Regs[in.Rd&63] = int64(math.Float64bits(f64(rs) - f64(rt)))
 		case FMUL:
-			setRd(fop(rs, rt, func(a, b float64) float64 { return a * b }))
+			m.Regs[in.Rd&63] = int64(math.Float64bits(f64(rs) * f64(rt)))
 		case FDIV:
-			setRd(fop(rs, rt, func(a, b float64) float64 { return a / b }))
+			m.Regs[in.Rd&63] = int64(math.Float64bits(f64(rs) / f64(rt)))
 		case FNEG:
-			setRd(int64(math.Float64bits(-f64(rs))))
+			m.Regs[in.Rd&63] = int64(math.Float64bits(-f64(rs)))
 		case FEQ:
-			setRd(b2i(f64(rs) == f64(rt)))
+			m.Regs[in.Rd&63] = b2i(f64(rs) == f64(rt))
 		case FNE:
-			setRd(b2i(f64(rs) != f64(rt)))
+			m.Regs[in.Rd&63] = b2i(f64(rs) != f64(rt))
 		case FLT:
-			setRd(b2i(f64(rs) < f64(rt)))
+			m.Regs[in.Rd&63] = b2i(f64(rs) < f64(rt))
 		case FLE:
-			setRd(b2i(f64(rs) <= f64(rt)))
+			m.Regs[in.Rd&63] = b2i(f64(rs) <= f64(rt))
 		case ITOF:
-			setRd(int64(math.Float64bits(float64(rs))))
+			m.Regs[in.Rd&63] = int64(math.Float64bits(float64(rs)))
 		case FTOI:
-			setRd(int64(f64(rs)))
+			m.Regs[in.Rd&63] = int64(f64(rs))
 
 		case LD:
 			a := rs + in.Imm
 			if a < 0 || a >= int64(len(m.Mem)) {
-				return fail("load out of bounds: %d", a)
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "load out of bounds: %d", a)
 			}
-			setRd(m.Mem[a])
+			m.Regs[in.Rd&63] = m.Mem[a]
 		case ST:
 			a := rs + in.Imm
 			if a < 0 || a >= int64(len(m.Mem)) {
-				return fail("store out of bounds: %d", a)
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "store out of bounds: %d", a)
 			}
 			m.Mem[a] = rt
 		case LDC:
 			if in.Imm < 0 || in.Imm >= int64(len(seg.Consts)) {
-				return fail("ldc out of bounds: %d/%d", in.Imm, len(seg.Consts))
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "ldc out of bounds: %d/%d", in.Imm, len(seg.Consts))
 			}
-			setRd(seg.Consts[in.Imm])
+			m.Regs[in.Rd&63] = seg.Consts[in.Imm]
 		case ALLOC:
 			a, err := m.Alloc(rs)
 			if err != nil {
-				return fail("%v", err)
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "%v", err)
 			}
-			setRd(a)
+			m.Regs[in.Rd&63] = a
 
 		case BEQZ:
 			if rs == 0 {
-				taken()
+				m.takenCharge(atRC, atSetup)
 				pc = in.Target
+				blkEnd = 0
 				continue
 			}
 		case BNEZ:
 			if rs != 0 {
-				taken()
+				m.takenCharge(atRC, atSetup)
 				pc = in.Target
+				blkEnd = 0
 				continue
 			}
 		case BEQI:
 			if rs == in.Imm {
-				taken()
+				m.takenCharge(atRC, atSetup)
 				pc = in.Target
+				blkEnd = 0
+				continue
+			}
+		case CMPBR:
+			if cmpEval(in.Sub, rs, rt) == (in.Rd != 0) {
+				m.takenCharge(atRC, atSetup)
+				pc = in.Target
+				blkEnd = 0
+				continue
+			}
+		case CMPBRI:
+			if cmpEval(in.Sub, rs, in.Imm) == (in.Rd != 0) {
+				m.takenCharge(atRC, atSetup)
+				pc = in.Target
+				blkEnd = 0
 				continue
 			}
 		case BR:
-			taken()
+			m.takenCharge(atRC, atSetup)
 			pc = in.Target
+			blkEnd = 0
 			continue
 		case JTBL:
 			ti := int(in.Imm)
 			if ti < 0 || ti >= len(seg.JumpTables) {
-				return fail("jump table %d out of range", ti)
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "jump table %d out of range", ti)
 			}
 			tbl := seg.JumpTables[ti]
 			if rs < 0 || rs >= int64(len(tbl)) {
-				return fail("jump table index %d out of range (%d)", rs, len(tbl))
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "jump table index %d out of range (%d)", rs, len(tbl))
 			}
 			pc = tbl[rs]
+			blkEnd = 0
 			continue
 		case XFER:
 			if seg.Parent == nil {
-				return fail("xfer from segment without parent")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "xfer from segment without parent")
 			}
-			taken()
+			m.takenCharge(atRC, atSetup)
 			seg = seg.Parent
+			pl = seg.execPlan()
+			code = seg.Code
 			pc = in.Target
-			fail = func(format string, args ...any) (int64, error) {
-				return 0, &vmError{seg: seg, pc: pc, msg: fmt.Sprintf(format, args...)}
-			}
+			blkEnd = 0
 			continue
+
+		case LDOP, LDOPR:
+			a := rs + in.Imm
+			if a < 0 || a >= int64(len(m.Mem)) {
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "load out of bounds: %d", a)
+			}
+			v := m.Mem[a]
+			if in.Op == LDOP {
+				m.Regs[in.Rd&63] = aluEval(in.Sub, rt, v)
+			} else {
+				m.Regs[in.Rd&63] = aluEval(in.Sub, v, rt)
+			}
+		case MADDI:
+			m.Regs[in.Rd&63] = rt + rs*in.Imm
 
 		case CALL:
 			if in.Imm < 0 {
 				if err := m.builtin(int(-in.Imm - 1)); err != nil {
-					return fail("%v", err)
+					return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "%v", err)
 				}
 				break
 			}
 			if int(in.Imm) >= len(m.Prog.Segs) {
-				return fail("call to unknown function %d", in.Imm)
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "call to unknown function %d", in.Imm)
 			}
-			m.frames = append(m.frames, frame{regs: m.Regs, seg: seg, pc: pc + 1})
+			if n := len(m.frames); n < cap(m.frames) {
+				// Write the frame in place: appending a composite
+				// literal would copy the 64-register file twice.
+				m.frames = m.frames[:n+1]
+				f := &m.frames[n]
+				f.regs = m.Regs
+				f.seg, f.pc = seg, pc+1
+			} else {
+				m.frames = append(m.frames, frame{regs: m.Regs, seg: seg, pc: pc + 1})
+			}
 			seg = m.Prog.Segs[in.Imm]
+			pl = seg.execPlan()
+			code = seg.Code
 			pc = 0
+			blkEnd = 0
 			continue
 		case RET:
 			if len(m.frames) == baseFrames {
 				return m.Regs[RRV], nil
 			}
-			fr := m.frames[len(m.frames)-1]
+			fr := &m.frames[len(m.frames)-1]
 			m.frames = m.frames[:len(m.frames)-1]
 			rv := m.Regs[RRV]
 			m.Regs = fr.regs
 			m.Regs[RRV] = rv
 			seg, pc = fr.seg, fr.pc
+			pl = seg.execPlan()
+			code = seg.Code
+			blkEnd = 0
 			continue
 		case HALT:
 			return m.Regs[RRV], nil
@@ -475,31 +677,38 @@ func (m *Machine) run(seg *Segment) (int64, error) {
 		case DYNENTER:
 			m.Region(int(in.Imm)).Invocations++
 			if m.OnDynEnter == nil {
-				return fail("dynenter without runtime")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "dynenter without runtime")
 			}
 			ns, err := m.OnDynEnter(m, int(in.Imm))
 			if err != nil {
-				return fail("%v", err)
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "%v", err)
 			}
 			if ns != nil {
 				seg, pc = ns, 0
+				pl = seg.execPlan()
+				code = seg.Code
+				blkEnd = 0
 				continue
 			}
 			// Not yet compiled: fall through into inline set-up code.
 		case DYNSTITCH:
 			if m.OnDynStitch == nil {
-				return fail("dynstitch without runtime")
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "dynstitch without runtime")
 			}
 			ns, err := m.OnDynStitch(m, int(in.Imm))
 			if err != nil {
-				return fail("%v", err)
+				return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "%v", err)
 			}
 			seg, pc = ns, 0
+			pl = seg.execPlan()
+			code = seg.Code
+			blkEnd = 0
 			continue
 
 		default:
-			return fail("illegal opcode %d", in.Op)
+			return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "illegal opcode %d", in.Op)
 		}
+		m.Regs[RZero] = 0
 		pc++
 	}
 }

@@ -10,7 +10,7 @@ func DeadWriteNops(code []Inst) int {
 	target := make([]bool, len(code)+1)
 	for _, in := range code {
 		switch in.Op {
-		case BEQZ, BNEZ, BEQI, BR:
+		case BEQZ, BNEZ, BEQI, BR, CMPBR, CMPBRI:
 			if in.Target >= 0 && in.Target < len(target) {
 				target[in.Target] = true
 			}
@@ -25,10 +25,12 @@ func DeadWriteNops(code []Inst) int {
 			return in.Op == JTBL && in.Rs == r
 		case ST:
 			return in.Rs == r || in.Rt == r
-		case BEQZ, BNEZ, BEQI:
+		case BEQZ, BNEZ, BEQI, CMPBRI:
 			return in.Rs == r
 		case MOV, NEG, NOT, FNEG, ITOF, FTOI, LD, ALLOC:
 			return in.Rs == r
+		case CMPBR, LDOP, LDOPR, MADDI:
+			return in.Rs == r || in.Rt == r
 		case CALL, DYNENTER, DYNSTITCH:
 			return true // conservatively reads everything
 		}
@@ -51,7 +53,8 @@ func DeadWriteNops(code []Inst) int {
 	}
 	writes := func(in Inst, r Reg) bool {
 		switch in.Op {
-		case ST, BEQZ, BNEZ, BEQI, BR, RET, XFER, NOP, HALT, JTBL:
+		case ST, BEQZ, BNEZ, BEQI, BR, RET, XFER, NOP, HALT, JTBL,
+			CMPBR, CMPBRI: // Rd is the branch sense, not a destination
 			return false
 		}
 		return in.Rd == r
@@ -76,7 +79,7 @@ func DeadWriteNops(code []Inst) int {
 				break
 			}
 			switch cj.Op {
-			case BR, BEQZ, BNEZ, BEQI, JTBL, RET, XFER, CALL, DYNENTER, DYNSTITCH:
+			case BR, BEQZ, BNEZ, BEQI, CMPBR, CMPBRI, JTBL, RET, XFER, CALL, DYNENTER, DYNSTITCH:
 				j = len(code) // control leaves the span; be conservative
 			}
 		}

@@ -1,9 +1,16 @@
 package vm
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Segment is an executable sequence of instructions: either a compiled
 // function or a run-time stitched code segment belonging to a function.
+//
+// A Segment's Code and metadata must not be mutated once a Machine has run
+// it (or Prepare has been called): the interpreter caches a derived
+// execution plan on the segment.
 type Segment struct {
 	Name      string
 	Code      []Inst
@@ -21,9 +28,32 @@ type Segment struct {
 	RegionOf []int16 // region index at each pc, or -1
 	SetupOf  []bool  // pc belongs to set-up code (overhead, not execution)
 
-	// RegionEntryAt counts region invocations in statically compiled code:
-	// executing one of these pcs increments the region's invocation count.
-	RegionEntryAt map[int]int
+	// RegionEntry counts region invocations in statically compiled code:
+	// RegionEntry[pc] >= 0 names the region whose invocation count is
+	// incremented each time pc executes. Nil when the segment has none.
+	RegionEntry []int32
+
+	// plan caches the derived execution plan (attribution + block costs),
+	// built once per segment and shared by all machines running it.
+	plan atomic.Pointer[execPlan]
+}
+
+// Prepare eagerly builds the segment's execution plan. Install paths
+// (codegen, stitcher) call it so the derivation cost is paid at compile or
+// stitch time rather than on a machine's first execution; segments built
+// by hand get the plan lazily on first run.
+func (s *Segment) Prepare() { s.execPlan() }
+
+func (s *Segment) execPlan() *execPlan {
+	if p := s.plan.Load(); p != nil {
+		return p
+	}
+	// Benign race: concurrent first runs may build duplicate plans; the
+	// plan is a pure function of the (immutable) segment, so any winner
+	// is correct.
+	p := buildPlan(s)
+	s.plan.Store(p)
+	return p
 }
 
 // Disasm renders the segment as assembly.

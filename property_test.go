@@ -1,8 +1,12 @@
 package dyncc
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -185,6 +189,176 @@ func TestStitcherOptionsAgreeProperty(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 15}
 	if testing.Short() {
 		cfg.MaxCount = 5
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// fusionRun compiles src with cfg, executes fn(args) and returns the
+// result plus every guest-visible counter fusion must not perturb.
+type fusionObservation struct {
+	vals    []int64
+	output  string
+	cycles  uint64
+	insts   uint64
+	regions []RegionStats
+}
+
+func observeFusion(t *testing.T, src string, cfg Config, fn string,
+	calls [][]int64, heap []int64) (fusionObservation, bool) {
+	t.Helper()
+	p, err := Compile(src, cfg)
+	if err != nil {
+		t.Fatalf("compile (%+v): %v\n%s", cfg, err, src)
+	}
+	m := p.NewMachine(0)
+	var out bytes.Buffer
+	m.SetOutput(&out)
+	var heapAddr int64
+	if heap != nil {
+		heapAddr, err = m.Alloc(int64(len(heap)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(m.Mem()[heapAddr:], heap)
+	}
+	ob := fusionObservation{}
+	for _, args := range calls {
+		a := append([]int64(nil), args...)
+		for i, v := range a {
+			if v == heapPlaceholder {
+				a[i] = heapAddr
+			}
+		}
+		v, err := m.Call(fn, a...)
+		if err != nil {
+			return ob, false // traps compared structurally elsewhere
+		}
+		ob.vals = append(ob.vals, v)
+	}
+	ob.output = out.String()
+	ob.cycles = m.Cycles()
+	ob.insts = m.Insts()
+	for r := 0; r < p.NumRegions(); r++ {
+		rs := m.Region(r)
+		rs.StitchCycles = 0 // stitcher work is host-side policy, not guest
+		rs.StitchedInsts = 0
+		rs.Compiles = 0
+		ob.regions = append(ob.regions, rs)
+	}
+	return ob, true
+}
+
+const heapPlaceholder = int64(-0x7eA9) // replaced by the test heap address
+
+// TestFusionNeutralProperty is the superinstruction soundness property:
+// with fusion on and off, every testdata program under every stitcher
+// option combination must produce identical results, printed output,
+// total Cycles and Insts, and identical per-region Invocations /
+// ExecCycles / SetupCycles. Fusion is a host-side optimization; the
+// modeled guest machine must not be able to tell.
+func TestFusionNeutralProperty(t *testing.T) {
+	programs := []struct {
+		file  string
+		fn    string
+		calls [][]int64
+		heap  []int64
+	}{
+		{"fib.mc", "fib", [][]int64{{12}, {15}}, nil},
+		{"power.mc", "power", [][]int64{{3, 10}, {2, 7}, {5, 0}, {3, 10}}, nil},
+		{"dotproduct.mc", "buildAndDot", [][]int64{{}, {}}, nil},
+		{"dotproduct.mc", "dot", [][]int64{
+			{heapPlaceholder, 3, heapPlaceholder}, {heapPlaceholder, 3, heapPlaceholder},
+		}, []int64{4, -2, 9}},
+	}
+	combos := []Config{
+		{Dynamic: false, Optimize: true},
+		{Dynamic: true, Optimize: true},
+		{Dynamic: true, Optimize: true, NoStrengthReduction: true},
+		{Dynamic: true, Optimize: true, RegisterActions: true},
+		{Dynamic: true, Optimize: true, MergedStitch: true},
+		{Dynamic: true, Optimize: true, RegisterActions: true, MergedStitch: true},
+	}
+	for _, pr := range programs {
+		src, err := os.ReadFile(filepath.Join("testdata", pr.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, combo := range combos {
+			fused := combo
+			unfused := combo
+			unfused.NoFuse = true
+			got, ok1 := observeFusion(t, string(src), fused, pr.fn, pr.calls, pr.heap)
+			want, ok2 := observeFusion(t, string(src), unfused, pr.fn, pr.calls, pr.heap)
+			if ok1 != ok2 {
+				t.Errorf("%s/%s combo %d: trap behaviour differs (fused ok=%v unfused ok=%v)",
+					pr.file, pr.fn, ci, ok1, ok2)
+				continue
+			}
+			if !ok1 {
+				continue
+			}
+			if !reflect.DeepEqual(got.vals, want.vals) || got.output != want.output {
+				t.Errorf("%s/%s combo %d: results differ: fused %v %q, unfused %v %q",
+					pr.file, pr.fn, ci, got.vals, got.output, want.vals, want.output)
+			}
+			if got.cycles != want.cycles || got.insts != want.insts {
+				t.Errorf("%s/%s combo %d: counters differ: fused cycles=%d insts=%d, unfused cycles=%d insts=%d",
+					pr.file, pr.fn, ci, got.cycles, got.insts, want.cycles, want.insts)
+			}
+			if !reflect.DeepEqual(got.regions, want.regions) {
+				t.Errorf("%s/%s combo %d: region counters differ:\nfused   %+v\nunfused %+v",
+					pr.file, pr.fn, ci, got.regions, want.regions)
+			}
+		}
+	}
+}
+
+// TestFusionNeutralRandomProperty extends the fusion-neutrality check to
+// random region programs: same value, Cycles, Insts and region counters
+// with fusion on and off.
+func TestFusionNeutralRandomProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genRegionProgram(r)
+		n := int64(1 + r.Intn(5))
+		c := int64(r.Intn(20))
+		heap := make([]int64, n)
+		for i := range heap {
+			heap[i] = int64(r.Int31n(100)) - 50
+		}
+		calls := [][]int64{}
+		for trial := 0; trial < 4; trial++ {
+			calls = append(calls, []int64{heapPlaceholder, n, c, int64(trial*13 - 11)})
+		}
+		for _, combo := range []Config{
+			{Dynamic: true, Optimize: true},
+			{Dynamic: false, Optimize: true},
+			{Dynamic: true, Optimize: true, MergedStitch: true},
+		} {
+			unfused := combo
+			unfused.NoFuse = true
+			got, ok1 := observeFusion(t, src, combo, "f", calls, heap)
+			want, ok2 := observeFusion(t, src, unfused, "f", calls, heap)
+			if ok1 != ok2 {
+				t.Logf("trap behaviour differs on:\n%s", src)
+				return false
+			}
+			if !ok1 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("fused/unfused mismatch (%+v) on:\n%s\nfused   %+v\nunfused %+v",
+					combo, src, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 8
 	}
 	if err := quick.Check(check, cfg); err != nil {
 		t.Error(err)
