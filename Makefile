@@ -1,14 +1,18 @@
 GO ?= go
 
-.PHONY: all check race bench bench-host table2 clean
+.PHONY: all check race bench bench-host bench-cache table2 clean
 
 all: check
 
-# Tier 1: everything builds, vet is clean and the full suite passes.
+# Tier 1: everything builds, vet is clean, the full suite passes, and the
+# cache/eviction machinery passes its package tests under the race
+# detector (fast enough for every check run; `race` still covers the
+# whole tree).
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race -timeout 120s ./internal/rtr
 
 # Tier 2: static analysis plus the race-enabled suite (exercises the
 # concurrent stitch cache under the race detector).
@@ -26,6 +30,12 @@ bench:
 # the fusion ablation.
 bench-host:
 	$(GO) test -run '^$$' -bench HostPerf -count=5 .
+
+# Bounded-cache churn under a Zipf key stream: benchstat-ready samples
+# (pipe into benchstat old.txt new.txt) plus the machine-readable report.
+bench-cache:
+	$(GO) test -run '^$$' -bench CacheChurn -count=5 ./internal/bench
+	$(GO) run ./cmd/dynbench -cachechurn -json BENCH_3.json
 
 # Regenerate the paper's tables on stdout.
 table2:

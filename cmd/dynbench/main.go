@@ -9,6 +9,12 @@
 // e.g. for regression tracking:
 //
 //	dynbench -parallel 8 -json BENCH_1.json
+//
+// -cachechurn measures the bounded stitch cache under a high-cardinality
+// Zipf-distributed key stream (eviction churn, re-stitches, hot-set hit
+// rate):
+//
+//	dynbench -cachechurn -json BENCH_3.json
 package main
 
 import (
@@ -31,6 +37,8 @@ type jsonReport struct {
 	Host           []*bench.HostResult     `json:"host,omitempty"`
 	HostBaseline   []*bench.HostResult     `json:"host_baseline,omitempty"`
 	HostComparison []*bench.HostComparison `json:"host_comparison,omitempty"`
+	// CacheChurn is present only when -cachechurn is given.
+	CacheChurn *bench.ChurnResult `json:"cache_churn,omitempty"`
 	// GOMAXPROCS records how many OS threads the parallel sweep could
 	// actually use, so scaling numbers can be interpreted.
 	GOMAXPROCS int `json:"gomaxprocs"`
@@ -57,6 +65,9 @@ func main() {
 	merged := flag.Bool("merged", false, "use the section 7 merged set-up+stitch mode")
 	uses := flag.Int("uses", 0, "override workload size")
 	parallel := flag.Int("parallel", 0, "run the parallel-machines sweep up to N machines")
+	cachechurn := flag.Bool("cachechurn", false, "run the bounded-cache churn benchmark (Zipf keys over a keyed region)")
+	churnCap := flag.Int("churncap", 0, "cache cap (MaxEntries) for -cachechurn (0 = default 256)")
+	churnKeys := flag.Int("churnkeys", 0, "distinct keys for -cachechurn (0 = default 4096)")
 	jsonPath := flag.String("json", "", "also write measurements to this file as JSON")
 	hostperf := flag.Bool("hostperf", false, "measure host ns per guest instruction instead of the guest-cycle tables")
 	hostBase := flag.String("hostbaseline", "", "baseline JSON (a previous -hostperf run) to compare against")
@@ -108,6 +119,17 @@ func main() {
 			ra.Speedup, ra.Stitch.LoadsPromoted, ra.Stitch.StoresPromoted)
 	}
 
+	var churn *bench.ChurnResult
+	if *cachechurn {
+		churn, err = bench.CacheChurn(0, *uses, *churnKeys, *churnCap)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Cache churn: bounded stitch cache under a Zipf key stream")
+		bench.PrintChurn(os.Stdout, churn)
+		fmt.Println()
+	}
+
 	var sweep []*bench.ParallelResult
 	if *parallel > 0 {
 		sweep, err = bench.ParallelSweep(*parallel, *uses)
@@ -121,7 +143,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		rep := jsonReport{Parallel: sweep, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		rep := jsonReport{Parallel: sweep, CacheChurn: churn, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 		for _, m := range rows {
 			rep.Table2 = append(rep.Table2, jsonRow{
 				Name: m.Name, Config: m.Config, Speedup: m.Speedup,

@@ -64,13 +64,19 @@ type Config struct {
 }
 
 // CacheOptions tune the runtime stitch cache (see DESIGN.md, "Runtime
-// concurrency model"). The zero value is the production configuration:
-// cross-machine sharing on, 32 shards, no diagnostic retention.
+// concurrency model" and "Cache lifecycle"). The zero value is the
+// historical configuration: cross-machine sharing on, 32 shards, no
+// diagnostic retention, and — for compatibility — unbounded retention at
+// both cache levels. Servers with high-cardinality keys (user ids, query
+// shapes) should set MaxEntries and MachineMaxEntries: without caps every
+// distinct key is retained forever.
 type CacheOptions struct {
-	// KeepStitched retains every stitched segment in the runtime for
+	// KeepStitched retains stitched segments in the runtime for
 	// diagnostics (disassembly, golden tests). Off by default so
 	// long-running servers don't hold every segment ever stitched.
-	KeepStitched bool
+	// KeepStitchedCap bounds the retention (0 = default 512 segments).
+	KeepStitched    bool
+	KeepStitchedCap int
 	// Shards overrides the shared-cache shard count (0 = default 32,
 	// rounded up to a power of two).
 	Shards int
@@ -78,6 +84,20 @@ type CacheOptions struct {
 	// machine stitches its own segments, and concurrent stitches of the
 	// same specialization are no longer deduplicated.
 	NoShare bool
+	// MaxEntries / MaxCodeBytes bound the shared cache (segments resident
+	// across all machines; 0 = unbounded) with a sharded CLOCK policy.
+	// In-flight stitches are pinned and never evicted.
+	MaxEntries   int
+	MaxCodeBytes int64
+	// MaxEntriesPerRegion / MaxCodeBytesPerRegion bound any single
+	// region's share of the cache (0 = unbounded).
+	MaxEntriesPerRegion   int
+	MaxCodeBytesPerRegion int64
+	// MachineMaxEntries bounds each machine's private cache (segments
+	// across regions, 0 = unbounded) with second-chance FIFO eviction.
+	MachineMaxEntries int
+	// ChurnStats enables the per-region churn histogram (CacheChurn).
+	ChurnStats bool
 }
 
 // Program is a compiled MiniC program.
@@ -97,9 +117,16 @@ func Compile(src string, cfg Config) (*Program, error) {
 			RegisterActions:     cfg.RegisterActions,
 		},
 		Cache: rtr.CacheOptions{
-			KeepStitched: cfg.Cache.KeepStitched,
-			Shards:       cfg.Cache.Shards,
-			NoShare:      cfg.Cache.NoShare,
+			KeepStitched:          cfg.Cache.KeepStitched,
+			KeepStitchedCap:       cfg.Cache.KeepStitchedCap,
+			Shards:                cfg.Cache.Shards,
+			NoShare:               cfg.Cache.NoShare,
+			MaxEntries:            cfg.Cache.MaxEntries,
+			MaxCodeBytes:          cfg.Cache.MaxCodeBytes,
+			MaxEntriesPerRegion:   cfg.Cache.MaxEntriesPerRegion,
+			MaxCodeBytesPerRegion: cfg.Cache.MaxCodeBytesPerRegion,
+			MachineMaxEntries:     cfg.Cache.MachineMaxEntries,
+			ChurnStats:            cfg.Cache.ChurnStats,
 		},
 	})
 	if err != nil {
@@ -214,26 +241,93 @@ func (p *Program) StitchStats(r int) StitchStats {
 	}
 }
 
-// RuntimeCacheStats summarizes the shared stitch cache across every
-// machine of a program: how many distinct specializations were stitched,
-// how many cold lookups another machine's stitch satisfied, and how many
-// concurrent stitches were coalesced by the singleflight guard.
+// RuntimeCacheStats summarizes the stitch-cache lifecycle across every
+// machine of a program: stitch counts, lookup outcomes, eviction churn and
+// resident footprint. All counters are monotonic except the Resident
+// gauges, and lookups obey
+//
+//	Lookups == SharedHits + Waits + FailedHits + Misses
 type RuntimeCacheStats struct {
-	Stitches   uint64
+	Lookups    uint64
 	SharedHits uint64
 	Waits      uint64
+	FailedHits uint64
 	Misses     uint64
+
+	Stitches       uint64
+	FailedStitches uint64
+
+	Evictions     uint64
+	Restitches    uint64
+	Invalidations uint64
+	L2Evictions   uint64
+
+	EntriesResident uint64
+	BytesResident   uint64
+	PeakEntries     uint64
 }
 
 // CacheStats reports shared stitch-cache behaviour for this program.
 func (p *Program) CacheStats() RuntimeCacheStats {
 	cs := p.c.Runtime.CacheStats()
 	return RuntimeCacheStats{
-		Stitches:   cs.Stitches,
-		SharedHits: cs.SharedHits,
-		Waits:      cs.Waits,
-		Misses:     cs.Misses,
+		Lookups:         cs.Lookups,
+		SharedHits:      cs.SharedHits,
+		Waits:           cs.Waits,
+		FailedHits:      cs.FailedHits,
+		Misses:          cs.Misses,
+		Stitches:        cs.Stitches,
+		FailedStitches:  cs.FailedStitches,
+		Evictions:       cs.Evictions,
+		Restitches:      cs.Restitches,
+		Invalidations:   cs.Invalidations,
+		L2Evictions:     cs.L2Evictions,
+		EntriesResident: cs.EntriesResident,
+		BytesResident:   cs.BytesResident,
+		PeakEntries:     cs.PeakEntries,
 	}
+}
+
+// RegionCacheChurn is one row of the per-region churn histogram (enable
+// with CacheOptions.ChurnStats): how many stitches, capacity evictions and
+// post-eviction re-stitches a region has seen. Rising Evictions plus
+// Restitches means the region's specialization working set exceeds the
+// configured caps.
+type RegionCacheChurn struct {
+	Region     int
+	Stitches   uint64
+	Evictions  uint64
+	Restitches uint64
+}
+
+// CacheChurn returns the per-region churn histogram, or nil unless
+// Config.Cache.ChurnStats was set.
+func (p *Program) CacheChurn() []RegionCacheChurn {
+	rows := p.c.Runtime.Churn()
+	if rows == nil {
+		return nil
+	}
+	out := make([]RegionCacheChurn, len(rows))
+	for i, r := range rows {
+		out[i] = RegionCacheChurn{Region: r.Region, Stitches: r.Stitches,
+			Evictions: r.Evictions, Restitches: r.Restitches}
+	}
+	return out
+}
+
+// Invalidate flushes every cached specialization of region r, across the
+// shared cache and every machine's private cache (detected by a
+// generation check on the machine's next entry into the region). Use it
+// when data a region specialized on has changed.
+func (p *Program) Invalidate(r int) { p.c.Runtime.Invalidate(r) }
+
+// InvalidateKey flushes one specialization of region r, identified by the
+// values its key variables had when it was stitched. Machines drop their
+// private copies of the region's specializations, but only the
+// invalidated key pays a re-stitch — the rest re-adopt from the shared
+// cache.
+func (p *Program) InvalidateKey(r int, keyVals ...int64) {
+	p.c.Runtime.InvalidateKey(r, keyVals...)
 }
 
 // PlanStats reports the optimizations the static compiler planned for

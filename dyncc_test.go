@@ -283,3 +283,54 @@ func TestCacheLookupDynamicMatchesStatic(t *testing.T) {
 		}
 	}
 }
+
+// TestBoundedCacheAPI exercises the public cache-lifecycle surface: caps,
+// the statistics invariant, churn reporting, and key invalidation.
+func TestBoundedCacheAPI(t *testing.T) {
+	const src = `
+int scale(int s, int x) {
+    int r;
+    dynamicRegion key(s) () {
+        r = x * s;
+    }
+    return r;
+}`
+	p, err := Compile(src, Config{Dynamic: true, Optimize: true,
+		Cache: CacheOptions{
+			MaxEntries:        4,
+			MachineMaxEntries: 4,
+			Shards:            1,
+			ChurnStats:        true,
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine(0)
+	for s := int64(1); s <= 16; s++ {
+		if got, err := m.Call("scale", s, 3); err != nil || got != 3*s {
+			t.Fatalf("scale(%d,3) = %d, %v", s, got, err)
+		}
+	}
+	cs := p.CacheStats()
+	if cs.PeakEntries > 4 || cs.EntriesResident > 4 {
+		t.Errorf("cap not enforced: %+v", cs)
+	}
+	if cs.Evictions == 0 || cs.BytesResident == 0 {
+		t.Errorf("eviction stats missing: %+v", cs)
+	}
+	if cs.Lookups != cs.SharedHits+cs.Waits+cs.FailedHits+cs.Misses {
+		t.Errorf("lookup invariant violated: %+v", cs)
+	}
+	churn := p.CacheChurn()
+	if len(churn) != 1 || churn[0].Stitches != cs.Stitches {
+		t.Errorf("churn report: %+v (stats %+v)", churn, cs)
+	}
+
+	p.InvalidateKey(0, 16)
+	if got, err := m.Call("scale", 16, 5); err != nil || got != 80 {
+		t.Fatalf("after InvalidateKey: %d, %v", got, err)
+	}
+	if got := p.CacheStats().Invalidations; got != 1 {
+		t.Errorf("invalidations: %d, want 1", got)
+	}
+}

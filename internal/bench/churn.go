@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+)
+
+// churnSrc is the high-cardinality keyed kernel the churn harness drives:
+// a cheap specialization (one multiply folded per key) so the measurement
+// stresses the cache machinery — eviction, generation checks, re-stitch —
+// rather than the stitcher itself.
+const churnSrc = `
+int scale(int s, int x) {
+    int r;
+    dynamicRegion key(s) () {
+        r = x * s;
+    }
+    return r;
+}`
+
+// Churn workload defaults: a Zipf-distributed key stream whose cardinality
+// dwarfs the cache cap, the shape of a server specializing per user or per
+// query over millions of users. With s=1.3 over 4096 keys the head is hot
+// (the top 32 ranks carry most of the mass) and the tail forces steady
+// eviction churn.
+const (
+	churnMachines = 4
+	churnUses     = 25000 // per machine
+	churnKeySpace = 4096
+	churnCap      = 256 // MaxEntries and MachineMaxEntries
+	churnHotKeys  = 32
+	churnZipfS    = 1.3
+	churnZipfV    = 1.0
+	churnRandBase = 7919 // per-machine seed stride (deterministic streams)
+)
+
+// ChurnResult is the cache-churn report: a bounded cache under a
+// high-cardinality Zipf key stream. Eviction quality is the hot-set hit
+// rate (fraction of hot-key calls that needed no stitch anywhere); cap
+// enforcement is PeakEntries <= MaxEntries.
+type ChurnResult struct {
+	Machines       int           `json:"machines"`
+	UsesPerMachine int           `json:"uses_per_machine"`
+	KeySpace       int           `json:"key_space"`
+	HotKeys        int           `json:"hot_keys"`
+	MaxEntries     int           `json:"max_entries"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	UsesPerSec     float64       `json:"uses_per_sec"`
+
+	Stitches        uint64  `json:"stitches"`
+	Evictions       uint64  `json:"evictions"`
+	Restitches      uint64  `json:"restitches"`
+	SharedHits      uint64  `json:"shared_hits"`
+	Waits           uint64  `json:"waits"`
+	L2Evictions     uint64  `json:"l2_evictions"`
+	EntriesResident uint64  `json:"entries_resident"`
+	PeakEntries     uint64  `json:"peak_entries"`
+	BytesResident   uint64  `json:"bytes_resident"`
+	HotCalls        uint64  `json:"hot_calls"`
+	HotHits         uint64  `json:"hot_hits"`
+	HotHitRate      float64 `json:"hot_hit_rate"`
+
+	Churn []rtr.RegionChurn `json:"churn,omitempty"`
+}
+
+// CacheChurn drives `machines` machines, one goroutine each, over a
+// Zipf-distributed key stream of `keySpace` distinct keys with the shared
+// cache capped at maxEntries (and each machine's private cache capped the
+// same). Zero arguments select the standard configuration. Key streams are
+// seeded per machine, so runs are deterministic.
+func CacheChurn(machines, usesPerMachine, keySpace, maxEntries int) (*ChurnResult, error) {
+	if machines < 1 {
+		machines = churnMachines
+	}
+	if usesPerMachine < 1 {
+		usesPerMachine = churnUses
+	}
+	if keySpace < 2 {
+		keySpace = churnKeySpace
+	}
+	if maxEntries < 1 {
+		maxEntries = churnCap
+	}
+	c, err := core.Compile(churnSrc, core.Config{
+		Dynamic: true, Optimize: true,
+		Cache: rtr.CacheOptions{
+			MaxEntries:        maxEntries,
+			MachineMaxEntries: maxEntries,
+			ChurnStats:        true,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cachechurn: %w", err)
+	}
+	ms := c.NewMachines(machines)
+	errs := make([]error, machines)
+	hotCalls := make([]uint64, machines)
+	hotHits := make([]uint64, machines)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < machines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := ms[i]
+			rng := rand.New(rand.NewSource(int64(i)*churnRandBase + 1))
+			zipf := rand.NewZipf(rng, churnZipfS, churnZipfV, uint64(keySpace-1))
+			for n := 0; n < usesPerMachine; n++ {
+				rank := zipf.Uint64()
+				k := int64(rank) + 1
+				x := int64(n%1000) + 1
+				before := m.Region(0).Compiles
+				got, err := m.Call("scale", k, x)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if got != k*x {
+					errs[i] = fmt.Errorf("scale(%d,%d) = %d, want %d", k, x, got, k*x)
+					return
+				}
+				if int(rank) < churnHotKeys {
+					hotCalls[i]++
+					// A hot call is a hit when this machine paid no
+					// stitch: warm dispatch, shared-cache adoption and
+					// singleflight waits all count (no compile charged).
+					if m.Region(0).Compiles == before {
+						hotHits[i]++
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cachechurn: %w", err)
+		}
+	}
+	cs := c.Runtime.CacheStats()
+	res := &ChurnResult{
+		Machines:       machines,
+		UsesPerMachine: usesPerMachine,
+		KeySpace:       keySpace,
+		HotKeys:        churnHotKeys,
+		MaxEntries:     maxEntries,
+		Elapsed:        elapsed,
+		UsesPerSec:     float64(machines*usesPerMachine) / elapsed.Seconds(),
+
+		Stitches:        cs.Stitches,
+		Evictions:       cs.Evictions,
+		Restitches:      cs.Restitches,
+		SharedHits:      cs.SharedHits,
+		Waits:           cs.Waits,
+		L2Evictions:     cs.L2Evictions,
+		EntriesResident: cs.EntriesResident,
+		PeakEntries:     cs.PeakEntries,
+		BytesResident:   cs.BytesResident,
+		Churn:           c.Runtime.Churn(),
+	}
+	for i := range hotCalls {
+		res.HotCalls += hotCalls[i]
+		res.HotHits += hotHits[i]
+	}
+	if res.HotCalls > 0 {
+		res.HotHitRate = float64(res.HotHits) / float64(res.HotCalls)
+	}
+	return res, nil
+}
+
+// PrintChurn renders the churn report.
+func PrintChurn(w io.Writer, r *ChurnResult) {
+	fmt.Fprintf(w, "%d machines x %d uses, %d distinct keys (Zipf s=%.1f), cap %d entries\n",
+		r.Machines, r.UsesPerMachine, r.KeySpace, churnZipfS, r.MaxEntries)
+	fmt.Fprintf(w, "  %-22s %12.0f\n", "uses/sec", r.UsesPerSec)
+	fmt.Fprintf(w, "  %-22s %12d\n", "stitches", r.Stitches)
+	fmt.Fprintf(w, "  %-22s %12d\n", "evictions", r.Evictions)
+	fmt.Fprintf(w, "  %-22s %12d\n", "re-stitches", r.Restitches)
+	fmt.Fprintf(w, "  %-22s %12d\n", "shared hits", r.SharedHits)
+	fmt.Fprintf(w, "  %-22s %12d\n", "L2 evictions", r.L2Evictions)
+	fmt.Fprintf(w, "  %-22s %12d  (cap %d)\n", "entries resident", r.EntriesResident, r.MaxEntries)
+	fmt.Fprintf(w, "  %-22s %12d  (cap %d)\n", "peak entries", r.PeakEntries, r.MaxEntries)
+	fmt.Fprintf(w, "  %-22s %12d\n", "bytes resident", r.BytesResident)
+	fmt.Fprintf(w, "  %-22s %11.1f%%  (top %d keys)\n",
+		"hot-set hit rate", 100*r.HotHitRate, r.HotKeys)
+}

@@ -1,0 +1,47 @@
+package bench
+
+import "testing"
+
+// TestCacheChurnBounded runs a scaled-down churn workload and checks the
+// acceptance properties of the bounded cache: the cap holds at peak, the
+// Zipf head stays hot despite tail churn, and the tail actually churns.
+func TestCacheChurnBounded(t *testing.T) {
+	const cap = 64
+	r, err := CacheChurn(2, 4000, 1024, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeakEntries > cap {
+		t.Errorf("peak entries %d exceed cap %d", r.PeakEntries, cap)
+	}
+	if r.EntriesResident > cap {
+		t.Errorf("resident entries %d exceed cap %d", r.EntriesResident, cap)
+	}
+	if r.Evictions == 0 {
+		t.Error("no evictions despite key space 16x the cap")
+	}
+	if r.HotHitRate < 0.9 {
+		t.Errorf("hot-set hit rate %.3f < 0.90: eviction is thrashing the head", r.HotHitRate)
+	}
+	if r.Stitches <= uint64(cap) {
+		t.Errorf("stitches %d: the tail should churn well past the cap", r.Stitches)
+	}
+	if len(r.Churn) == 0 || r.Churn[0].Stitches != r.Stitches {
+		t.Errorf("per-region churn not collected: %+v", r.Churn)
+	}
+}
+
+// BenchmarkCacheChurn is the benchstat target behind `make bench-cache`:
+// one op is the standard churn workload (4 machines x 25000 Zipf-keyed
+// uses against a 256-entry cache), reported with uses/sec and the hot-set
+// hit rate as extra metrics.
+func BenchmarkCacheChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := CacheChurn(0, 0, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.UsesPerSec, "uses/sec")
+		b.ReportMetric(100*r.HotHitRate, "hot-hit-%")
+	}
+}

@@ -39,8 +39,10 @@ type ParallelResult struct {
 	UsesPerSec float64       `json:"uses_per_sec"`
 	Stitches   uint64        `json:"stitches"`
 	SharedHits uint64        `json:"shared_hits"`
-	Waits      uint64        `json:"waits"`
-	Shared     bool          `json:"shared"` // cross-machine sharing enabled
+	// Waits counts lookups that found another machine's stitch of the
+	// same key in flight and blocked for its result.
+	Waits  uint64 `json:"waits"`
+	Shared bool   `json:"shared"` // cross-machine sharing enabled
 }
 
 // ParallelMachines runs the keyed power kernel on `machines` machines, one

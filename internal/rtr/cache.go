@@ -16,13 +16,25 @@ import (
 // selection is a mask, not a modulo.
 const DefaultShards = 32
 
-// CacheOptions tune the runtime's two-level stitch cache.
+// DefaultKeepStitchedCap bounds diagnostic segment retention when
+// CacheOptions.KeepStitched is on and no explicit cap is given. Retention
+// is a debugging aid; a few hundred segments cover every dump and golden
+// test while keeping a long KeepStitched run from leaking.
+const DefaultKeepStitchedCap = 512
+
+// CacheOptions tune the runtime's two-level stitch cache. The zero value
+// preserves the historical behaviour exactly: unbounded retention at both
+// levels, cross-machine sharing on, no churn histogram.
 type CacheOptions struct {
-	// KeepStitched retains every stitched segment in Runtime.Stitched for
+	// KeepStitched retains stitched segments in Runtime.Stitched for
 	// diagnostics (golden tests, disassembly dumps). Off by default: a
 	// long-running server would otherwise hold every segment it ever
 	// stitched, even ones its machines have dropped.
 	KeepStitched bool
+	// KeepStitchedCap bounds KeepStitched retention (total segments across
+	// regions; 0 = DefaultKeepStitchedCap). Once full, later segments are
+	// simply not retained — diagnostics capture the beginning of a run.
+	KeepStitchedCap int
 	// Shards overrides the shared-cache shard count (0 = DefaultShards;
 	// values are rounded up to a power of two).
 	Shards int
@@ -30,6 +42,38 @@ type CacheOptions struct {
 	// stitches its own segments, as if all regions were unshareable.
 	// Stitch deduplication across goroutines is disabled with it.
 	NoShare bool
+
+	// MaxEntries bounds the number of resident segments in the shared
+	// (level-1) cache across all regions and shards (0 = unbounded).
+	// In-flight singleflight entries are pinned and do not count against
+	// the cap; eviction uses a per-shard CLOCK (second-chance) policy.
+	MaxEntries int
+	// MaxCodeBytes bounds the resident stitched-code footprint of the
+	// shared cache in bytes (0 = unbounded), using vm.Segment.MemFootprint
+	// as the per-segment size. A single segment larger than the cap is
+	// still cached (the cache must publish it to waiters) and evicted as
+	// soon as anything else arrives.
+	MaxCodeBytes int64
+	// MaxEntriesPerRegion bounds the resident shared-cache segments of any
+	// single region (0 = unbounded). Enforcement is best-effort across
+	// shards: a region briefly overshoots while a concurrent publish in
+	// another shard completes.
+	MaxEntriesPerRegion int
+	// MaxCodeBytesPerRegion bounds the resident code bytes of any single
+	// region (0 = unbounded), with the same best-effort cross-shard
+	// enforcement as MaxEntriesPerRegion.
+	MaxCodeBytesPerRegion int64
+	// MachineMaxEntries bounds each machine's private (level-2) cache
+	// (total segments across regions, 0 = unbounded). Eviction is
+	// second-chance FIFO: a slot referenced since it was last considered
+	// gets one more pass before it is dropped.
+	MachineMaxEntries int
+
+	// ChurnStats enables the optional per-region churn histogram
+	// (Runtime.Churn): stitches, evictions and re-stitches per region.
+	// The counters are touched only on the cold stitch/evict paths, but
+	// they are off by default to keep the zero value allocation-free.
+	ChurnStats bool
 }
 
 // cacheKey identifies one specialization in the shared cache.
@@ -42,30 +86,50 @@ type cacheKey struct {
 // that creates the entry stitches; later arrivals block on done and read
 // seg/err. Entries whose stitch failed are removed so a later attempt can
 // retry (the error is still delivered to every waiter of that attempt).
+//
+// Lifecycle: an entry is *in-flight* from creation until done is closed
+// (pinned — the eviction clock never sees it, because only published
+// entries join the shard ring), then *resident* once published into the
+// ring, until evicted or invalidated. gen snapshots the region generation
+// at claim time; lookups reject entries whose generation is stale, so a
+// segment stitched against data invalidated mid-flight is served to its
+// waiters (they began before the invalidation) but never retained.
 type entry struct {
+	key  cacheKey
+	gen  uint64 // region generation at claim time
 	done chan struct{}
 	seg  *vm.Segment
 	err  error
+
+	// Guarded by the owning shard's mutex.
+	bytes int64 // seg.MemFootprint(), cached at publish
+	ref   bool  // CLOCK reference bit, set on every shared hit
+	slot  int   // index in the shard's ring; -1 when not resident
 }
 
-// shard is one lock domain of the shared cache. Stitcher statistics are
-// accumulated per shard and folded on read so the stitch path never takes
-// a runtime-global lock.
+// shard is one lock domain of the shared cache. Stitcher statistics and
+// cache counters are accumulated per shard and folded on read so the
+// stitch path never takes a runtime-global lock.
 type shard struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*entry
+	ring    []*entry         // resident entries, in CLOCK order
+	hand    int              // CLOCK hand into ring
 	stats   []stitcher.Stats // per region index
-	hits    uint64           // cold lookups served by a completed entry
-	waits   uint64           // stitches coalesced onto an in-flight entry
-	misses  uint64           // lookups that found nothing
-}
+	churn   []RegionChurn    // per region index; only with ChurnStats
+	evicted evictLog         // recent capacity evictions, for restitch detection
 
-// CacheStats summarizes shared-cache behaviour across all shards.
-type CacheStats struct {
-	Stitches   uint64 // stitcher runs (singleflight winners + private stitches)
-	SharedHits uint64 // lookups served by another machine's stitch
-	Waits      uint64 // stitches coalesced onto an in-flight stitch
-	Misses     uint64 // shared-cache lookups that found nothing
+	// Monotonic counters (never decremented; see CacheStats for the
+	// lookup invariant).
+	lookups        uint64
+	hits           uint64 // lookups served by a completed entry
+	waits          uint64 // lookups that found an in-flight stitch to coalesce onto
+	misses         uint64 // lookups that found nothing
+	failedHits     uint64 // lookups that found a completed-but-failed entry
+	stitches       uint64 // successful stitches won in this shard
+	failedStitches uint64 // stitches that returned an error
+	evictions      uint64 // capacity evictions (invalidations are counted separately)
+	restitches     uint64 // stitches of a key recently evicted for capacity
 }
 
 func numShards(opt int) int {
@@ -90,6 +154,16 @@ func appendKey(buf []byte, m *vm.Machine, r *tmpl.Region) []byte {
 	return buf
 }
 
+// encodeKey renders explicit key values the way DYNENTER would stage them,
+// for the InvalidateKey API.
+func encodeKey(vals []int64) string {
+	buf := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return string(buf)
+}
+
 // shardFor picks the shard for (region, key) by FNV-1a over the region
 // index and the encoded key bytes.
 func (rt *Runtime) shardFor(region int, key string) *shard {
@@ -109,23 +183,49 @@ func (rt *Runtime) shardFor(region int, key string) *shard {
 // In-flight entries are not waited on here: DYNENTER falls through into
 // set-up instead, and the wait happens at stitch time where the in-flight
 // window is pure host code (see stitchShared).
+//
+// Accounting invariant: every lookup increments exactly one of hits,
+// waits, failedHits or misses, so at all times
+//
+//	lookups == hits + waits + failedHits + misses
+//
+// (see TestLookupAccountingInvariant). A lookup that finds an in-flight
+// entry is a wait — the caller will coalesce onto that stitch — not a
+// miss; the seed double-counted it as both.
 func (rt *Runtime) lookupShared(region int, key string) *vm.Segment {
 	sh := rt.shardFor(region, key)
 	ck := cacheKey{region: region, key: key}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if e, ok := sh.entries[ck]; ok {
-		select {
-		case <-e.done:
-			if e.err == nil {
-				sh.hits++
-				return e.seg
-			}
-		default:
-		}
+	sh.lookups++
+	e, ok := sh.entries[ck]
+	if !ok {
+		sh.misses++
+		return nil
 	}
-	sh.misses++
-	return nil
+	select {
+	case <-e.done:
+		if e.err != nil {
+			// Completed but failed (narrow window before the stitcher's
+			// own cleanup removes it): not a true miss — the key was
+			// present — but unusable, so the caller re-stitches.
+			sh.failedHits++
+			return nil
+		}
+		if e.gen != rt.gens[region].Load() {
+			// Invalidated after publish; drop it now rather than serving
+			// a segment from a dead generation.
+			sh.dropLocked(rt, e)
+			sh.misses++
+			return nil
+		}
+		sh.hits++
+		e.ref = true
+		return e.seg
+	default:
+		sh.waits++
+		return nil
+	}
 }
 
 // stitchShared produces the segment for (region, key) with singleflight:
@@ -144,7 +244,6 @@ func (rt *Runtime) stitchShared(m *vm.Machine, region int, key string,
 
 	sh.mu.Lock()
 	if e, ok := sh.entries[ck]; ok {
-		sh.waits++
 		sh.mu.Unlock()
 		<-e.done
 		// A failed stitch is deterministic for a shareable region (the
@@ -152,7 +251,8 @@ func (rt *Runtime) stitchShared(m *vm.Machine, region int, key string,
 		// rather than re-running a stitch that would fail identically.
 		return e.seg, nil, e.err
 	}
-	e := &entry{done: make(chan struct{})}
+	e := &entry{key: ck, gen: rt.gens[region].Load(),
+		done: make(chan struct{}), slot: -1}
 	sh.entries[ck] = e
 	sh.mu.Unlock()
 
@@ -162,12 +262,43 @@ func (rt *Runtime) stitchShared(m *vm.Machine, region int, key string,
 
 	sh.mu.Lock()
 	if err != nil {
-		delete(sh.entries, ck)
-	} else {
-		sh.addStatsLocked(region, stats)
+		sh.failedStitches++
+		if sh.entries[ck] == e {
+			delete(sh.entries, ck)
+		}
+		sh.mu.Unlock()
+		return seg, stats, err
 	}
+	sh.stitches++
+	sh.addStatsLocked(region, stats)
+	e.bytes = int64(seg.MemFootprint())
+	restitch := sh.evicted.remove(ck)
+	if restitch {
+		sh.restitches++
+	}
+	if rt.Opts.Cache.ChurnStats {
+		c := sh.churnLocked(region)
+		c.Stitches++
+		if restitch {
+			c.Restitches++
+		}
+	}
+	if e.gen != rt.gens[region].Load() || sh.entries[ck] != e {
+		// The region was invalidated (or this key explicitly flushed)
+		// while we were stitching: serve the waiters — they began before
+		// the invalidation — but do not retain the segment.
+		if sh.entries[ck] == e {
+			delete(sh.entries, ck)
+		}
+		sh.mu.Unlock()
+		return seg, stats, nil
+	}
+	rt.makeRoomLocked(sh, region, e.bytes)
+	sh.publishLocked(rt, e)
 	sh.mu.Unlock()
-	return seg, stats, err
+
+	rt.reclaim(region)
+	return seg, stats, nil
 }
 
 // recordStats folds one private (unshared) stitch into the shard-local
@@ -176,6 +307,9 @@ func (rt *Runtime) recordStats(region int, key string, stats *stitcher.Stats) {
 	sh := rt.shardFor(region, key)
 	sh.mu.Lock()
 	sh.addStatsLocked(region, stats)
+	if rt.Opts.Cache.ChurnStats {
+		sh.churnLocked(region).Stitches++
+	}
 	sh.mu.Unlock()
 }
 
@@ -193,6 +327,15 @@ func (sh *shard) addStatsLocked(region int, st *stitcher.Stats) {
 	s.LoadsPromoted += st.LoadsPromoted
 	s.StoresPromoted += st.StoresPromoted
 	s.CyclesModeled += st.CyclesModeled
+}
+
+// churnLocked returns the shard's churn slot for region, growing the
+// histogram on demand.
+func (sh *shard) churnLocked(region int) *RegionChurn {
+	for region >= len(sh.churn) {
+		sh.churn = append(sh.churn, RegionChurn{Region: len(sh.churn)})
+	}
+	return &sh.churn[region]
 }
 
 // Stats folds the per-shard stitcher statistics for region r across every
@@ -219,28 +362,4 @@ func (rt *Runtime) Stats(r int) stitcher.Stats {
 		sh.mu.Unlock()
 	}
 	return out
-}
-
-// CacheStats folds the shared-cache counters across shards.
-func (rt *Runtime) CacheStats() CacheStats {
-	var cs CacheStats
-	for i := range rt.shards {
-		sh := &rt.shards[i]
-		sh.mu.Lock()
-		cs.SharedHits += sh.hits
-		cs.Waits += sh.waits
-		cs.Misses += sh.misses
-		for _, e := range sh.entries {
-			select {
-			case <-e.done:
-				if e.err == nil {
-					cs.Stitches++
-				}
-			default:
-			}
-		}
-		sh.mu.Unlock()
-	}
-	cs.Stitches += rt.privateStitches.Load()
-	return cs
 }

@@ -1,0 +1,109 @@
+// Observability for the two-level stitch cache: monotonic lifecycle
+// counters folded across shards (CacheStats), the optional per-region
+// churn histogram (Churn), and resident-footprint gauges. Everything here
+// is a cold read path — the counters themselves are maintained under the
+// per-shard locks the stitch path already takes, so observation adds no
+// cost to dispatch.
+package rtr
+
+// CacheStats summarizes shared-cache behaviour across all shards. All
+// counters are monotonic over the runtime's lifetime except the Resident
+// gauges. The lookup counters obey
+//
+//	Lookups == SharedHits + Waits + FailedHits + Misses
+//
+// at every instant: each lookup is classified exactly once under its
+// shard's lock (the seed counted an in-flight or failed entry as a miss
+// *and* later as a wait, so misses overcounted and no invariant held).
+type CacheStats struct {
+	// Lookup classification (level-1 lookups by machines that missed
+	// their private cache).
+	Lookups    uint64 // total shared-cache lookups
+	SharedHits uint64 // served by another machine's completed stitch
+	Waits      uint64 // found an in-flight stitch to coalesce onto
+	FailedHits uint64 // found a completed-but-failed entry (will retry)
+	Misses     uint64 // found nothing (true misses)
+
+	// Stitch outcomes. Stitches is a monotonic counter incremented at
+	// stitch time (singleflight winners plus private stitches of
+	// non-shareable regions); the seed derived it by scanning resident
+	// entries, so failed stitches were never counted and every eviction
+	// would have silently decremented it.
+	Stitches       uint64
+	FailedStitches uint64
+
+	// Churn and lifecycle.
+	Evictions     uint64 // capacity evictions from the shared cache
+	Restitches    uint64 // stitches of keys recently evicted (lower bound; see evictLog)
+	Invalidations uint64 // Invalidate/InvalidateKey calls
+	L2Evictions   uint64 // per-machine (level-2) cache evictions, fleet-wide
+
+	// Resident footprint of the shared cache (gauges, not counters).
+	EntriesResident uint64 // completed segments currently cached
+	BytesResident   uint64 // their code footprint (vm.Segment.MemFootprint)
+	PeakEntries     uint64 // high-water mark of EntriesResident
+}
+
+// RegionChurn is one row of the optional per-region churn histogram
+// (CacheOptions.ChurnStats): how many stitches, capacity evictions and
+// post-eviction re-stitches a region has seen. A region whose Evictions
+// and Restitches both climb is thrashing — its working set of
+// specializations exceeds the configured caps.
+type RegionChurn struct {
+	Region     int    `json:"region"`
+	Stitches   uint64 `json:"stitches"`
+	Evictions  uint64 `json:"evictions"`
+	Restitches uint64 `json:"restitches"`
+}
+
+// CacheStats folds the shared-cache counters across shards.
+func (rt *Runtime) CacheStats() CacheStats {
+	var cs CacheStats
+	for i := range rt.shards {
+		sh := &rt.shards[i]
+		sh.mu.Lock()
+		cs.Lookups += sh.lookups
+		cs.SharedHits += sh.hits
+		cs.Waits += sh.waits
+		cs.FailedHits += sh.failedHits
+		cs.Misses += sh.misses
+		cs.Stitches += sh.stitches
+		cs.FailedStitches += sh.failedStitches
+		cs.Evictions += sh.evictions
+		cs.Restitches += sh.restitches
+		sh.mu.Unlock()
+	}
+	cs.Stitches += rt.privateStitches.Load()
+	cs.Invalidations = rt.invalidations.Load()
+	cs.L2Evictions = rt.l2Evictions.Load()
+	cs.EntriesResident = uint64(rt.resident.Load())
+	cs.BytesResident = uint64(rt.residentBytes.Load())
+	cs.PeakEntries = uint64(rt.peakEntries.Load())
+	return cs
+}
+
+// Churn folds the per-region churn histogram across shards. It returns nil
+// unless CacheOptions.ChurnStats was set; rows are indexed by region.
+func (rt *Runtime) Churn() []RegionChurn {
+	if !rt.Opts.Cache.ChurnStats {
+		return nil
+	}
+	out := make([]RegionChurn, len(rt.Regions))
+	for i := range out {
+		out[i].Region = i
+	}
+	for i := range rt.shards {
+		sh := &rt.shards[i]
+		sh.mu.Lock()
+		for r := range sh.churn {
+			if r >= len(out) {
+				break
+			}
+			out[r].Stitches += sh.churn[r].Stitches
+			out[r].Evictions += sh.churn[r].Evictions
+			out[r].Restitches += sh.churn[r].Restitches
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -15,7 +15,8 @@
 //     DYNENTER lookup performs zero allocations. (A plain goroutine-
 //     confined map beats both sync.Map and an atomically swapped snapshot
 //     here: there is no cross-goroutine access to synchronize at all; see
-//     BenchmarkL2MapStrategies.)
+//     BenchmarkL2MapStrategies.) Bounded by CacheOptions.MachineMaxEntries
+//     with second-chance FIFO eviction.
 //
 //   - Level 1, per runtime: a sharded map shared by all attached machines,
 //     holding segments for regions the static compiler proved Shareable
@@ -24,10 +25,26 @@
 //     entries and its slice of stitcher statistics with its own mutex; a
 //     singleflight latch per entry ensures K goroutines hitting a cold
 //     (region, key) pay for exactly one stitch and K−1 channel waits.
+//     Bounded by CacheOptions.MaxEntries/MaxCodeBytes with a per-shard
+//     CLOCK policy (see evict.go).
 //
 // Non-shareable regions (set-up reads machine memory) bypass level 1
 // entirely and behave exactly as in the single-machine system: each
 // machine stitches its own copy against its own tables.
+//
+// # Generations and invalidation
+//
+// Every region carries a monotonic generation number. Invalidate and
+// InvalidateKey bump it; each machine snapshots the generation per region
+// and compares its snapshot against the live value with one atomic load on
+// the DYNENTER fast path (no locks, no allocations). A mismatch flushes
+// that machine's level-2 map for the region, so a dropped specialization
+// is re-fetched from level 1 (cheap, for keys that were not invalidated)
+// or re-stitched (for the key that was) instead of being served stale.
+// Capacity evictions do NOT bump generations: a shareable region's
+// stitched code is a pure function of its key, so a level-2 copy of an
+// evicted level-1 entry is still correct — coherence is only needed for
+// semantic invalidation.
 package rtr
 
 import (
@@ -53,12 +70,15 @@ type Runtime struct {
 	Regions []*tmpl.Region
 	Opts    Options
 
-	// Stitched records every stitched segment per region, for diagnostics
+	// Stitched records stitched segments per region, for diagnostics
 	// (disassembly dumps, golden tests). Populated only when
 	// Opts.Cache.KeepStitched is set — unbounded retention is a leak for
-	// long-running servers. Guarded by stitchedMu.
-	Stitched   map[int][]*vm.Segment
-	stitchedMu sync.Mutex
+	// long-running servers — and capped at KeepStitchedCap segments.
+	// Guarded by stitchedMu.
+	Stitched     map[int][]*vm.Segment
+	stitchedMu   sync.Mutex
+	stitchedSeen map[*vm.Segment]struct{} // set-dedup for Stitched
+	stitchedN    int                      // total retained across regions
 
 	// SetupFn, when present for a region, evaluates the region's set-up
 	// host-side (the paper's section 7 merged set-up+stitch mode): it
@@ -72,20 +92,37 @@ type Runtime struct {
 	// shards is the level-1 shared cache (see package comment).
 	shards []shard
 
+	// gens holds the per-region generation numbers (see package comment).
+	// Read on the DYNENTER fast path with a single atomic load.
+	gens []atomic.Uint64
+
+	// Resident accounting for the level-1 caps (see evict.go).
+	resident       atomic.Int64
+	residentBytes  atomic.Int64
+	peakEntries    atomic.Int64
+	regionResident []atomic.Int64
+	regionBytes    []atomic.Int64
+
 	// privateStitches counts stitches of non-shareable regions (shareable
-	// stitches are counted by their shard entries).
+	// stitches are counted by their shard's monotonic counter).
 	privateStitches atomic.Uint64
+	invalidations   atomic.Uint64
+	l2Evictions     atomic.Uint64
 }
 
 // New creates a runtime for prog with the given region metadata.
 func New(prog *vm.Program, regions []*tmpl.Region, opts Options) *Runtime {
 	rt := &Runtime{
-		Prog:     prog,
-		Regions:  regions,
-		Opts:     opts,
-		Stitched: map[int][]*vm.Segment{},
-		SetupFn:  map[int]func(m *vm.Machine) (int64, uint64, error){},
-		shards:   make([]shard, numShards(opts.Cache.Shards)),
+		Prog:           prog,
+		Regions:        regions,
+		Opts:           opts,
+		Stitched:       map[int][]*vm.Segment{},
+		stitchedSeen:   map[*vm.Segment]struct{}{},
+		SetupFn:        map[int]func(m *vm.Machine) (int64, uint64, error){},
+		shards:         make([]shard, numShards(opts.Cache.Shards)),
+		gens:           make([]atomic.Uint64, len(regions)),
+		regionResident: make([]atomic.Int64, len(regions)),
+		regionBytes:    make([]atomic.Int64, len(regions)),
 	}
 	for i := range rt.shards {
 		rt.shards[i].entries = map[cacheKey]*entry{}
@@ -93,43 +130,215 @@ func New(prog *vm.Program, regions []*tmpl.Region, opts Options) *Runtime {
 	return rt
 }
 
+// Invalidate flushes every cached specialization of region, across the
+// shared cache and (via the generation check on their next DYNENTER) every
+// attached machine's private cache. Use it when data a non-shareable
+// region specialized on has changed, or to force re-stitching after an
+// external table update. In-flight stitches complete and are delivered to
+// their waiters — they began before the invalidation — but are not
+// retained.
+func (rt *Runtime) Invalidate(region int) {
+	if region < 0 || region >= len(rt.gens) {
+		return
+	}
+	rt.gens[region].Add(1)
+	rt.invalidations.Add(1)
+	for i := range rt.shards {
+		sh := &rt.shards[i]
+		sh.mu.Lock()
+		for ck, e := range sh.entries {
+			if ck.region != region {
+				continue
+			}
+			select {
+			case <-e.done:
+				sh.dropLocked(rt, e)
+			default:
+				// In-flight: unmap it so the publish path sees it was
+				// flushed and declines to retain (entries[ck] != e).
+				delete(sh.entries, ck)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// InvalidateKey flushes one specialization of region, identified by its
+// key-register values (the values the region's key variables had when it
+// was stitched). The region's generation is bumped, so machines drop their
+// private copies of *all* the region's specializations on next entry — but
+// every key except this one is still resident in the shared cache and is
+// re-adopted without a stitch; only the invalidated key pays a re-stitch.
+func (rt *Runtime) InvalidateKey(region int, keyVals ...int64) {
+	if region < 0 || region >= len(rt.gens) {
+		return
+	}
+	ck := cacheKey{region: region, key: encodeKey(keyVals)}
+	// Bump before unmapping so a racing publish observes the new
+	// generation and declines to retain.
+	gen := rt.gens[region].Add(1)
+	rt.invalidations.Add(1)
+	for i := range rt.shards {
+		sh := &rt.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if k.region != region {
+				continue
+			}
+			if k == ck {
+				select {
+				case <-e.done:
+					sh.dropLocked(rt, e)
+				default:
+					delete(sh.entries, k)
+				}
+				continue
+			}
+			// Sibling keys were not invalidated: refresh their
+			// generation snapshot so lookups keep serving them and an
+			// in-flight stitch still publishes. (A lookup racing ahead
+			// of this sweep may drop one as stale; that only costs a
+			// re-stitch, never a wrong result.)
+			e.gen = gen
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Generation returns region's current generation number (diagnostics).
+func (rt *Runtime) Generation(region int) uint64 {
+	if region < 0 || region >= len(rt.gens) {
+		return 0
+	}
+	return rt.gens[region].Load()
+}
+
+// l2slot is one level-2 cache slot; ref is the second-chance bit, set on
+// every warm hit and consumed by the eviction scan.
+type l2slot struct {
+	seg *vm.Segment
+	ref bool
+}
+
+// l2ref names a level-2 slot in the machine's FIFO eviction queue.
+type l2ref struct {
+	region int
+	key    string
+}
+
 // machineState is the level-2 cache plus scratch state of one attached
 // machine. It is touched only by the machine's own goroutine.
 type machineState struct {
-	cache   []map[string]*vm.Segment // region -> key bytes -> code
-	pending []string                 // region -> key awaiting DYNSTITCH
-	keyBuf  []byte                   // reusable key-encoding buffer
+	cache   []map[string]*l2slot // region -> key bytes -> slot
+	pending []string             // region -> key awaiting DYNSTITCH
+	keyBuf  []byte               // reusable key-encoding buffer
+	gen     []uint64             // per-region generation snapshot
+	fifo    []l2ref              // insertion order for second-chance eviction
+	count   int                  // live slots across regions
+	max     int                  // CacheOptions.MachineMaxEntries (0 = unbounded)
 }
 
-func newMachineState(n int) *machineState {
+func newMachineState(rt *Runtime) *machineState {
+	n := len(rt.Regions)
 	ms := &machineState{
-		cache:   make([]map[string]*vm.Segment, n),
+		cache:   make([]map[string]*l2slot, n),
 		pending: make([]string, n),
 		keyBuf:  make([]byte, 0, 64),
+		gen:     make([]uint64, n),
+		max:     rt.Opts.Cache.MachineMaxEntries,
+	}
+	for i := range ms.gen {
+		ms.gen[i] = rt.gens[i].Load()
 	}
 	return ms
 }
 
-func (ms *machineState) put(region int, key string, seg *vm.Segment) {
+func (ms *machineState) put(rt *Runtime, region int, key string, seg *vm.Segment) {
 	if ms.cache[region] == nil {
-		ms.cache[region] = map[string]*vm.Segment{}
+		ms.cache[region] = map[string]*l2slot{}
 	}
-	ms.cache[region][key] = seg
+	if _, ok := ms.cache[region][key]; !ok {
+		if ms.max > 0 {
+			for ms.count >= ms.max && ms.evictOne(rt) {
+			}
+		}
+		ms.count++
+		ms.fifo = append(ms.fifo, l2ref{region: region, key: key})
+	}
+	ms.cache[region][key] = &l2slot{seg: seg}
+}
+
+// evictOne drops one level-2 slot with second-chance FIFO: the oldest slot
+// is evicted unless it has been referenced since it was queued, in which
+// case its bit is cleared and it goes to the back. Queue entries whose
+// slot is gone (region flush, Reset) are skipped and discarded.
+func (ms *machineState) evictOne(rt *Runtime) bool {
+	limit := 2*len(ms.fifo) + 1
+	for scanned := 0; scanned < limit && len(ms.fifo) > 0; scanned++ {
+		ref := ms.fifo[0]
+		ms.fifo = ms.fifo[1:]
+		slot, ok := ms.cache[ref.region][ref.key]
+		if !ok {
+			continue // stale: flushed or already evicted
+		}
+		if slot.ref {
+			slot.ref = false
+			ms.fifo = append(ms.fifo, ref)
+			continue
+		}
+		delete(ms.cache[ref.region], ref.key)
+		ms.count--
+		rt.l2Evictions.Add(1)
+		return true
+	}
+	return false
+}
+
+// flushRegion drops the machine's cached specializations of one region
+// (generation mismatch). Queue entries go stale and are skipped by
+// evictOne; compact() bounds their accumulation.
+func (ms *machineState) flushRegion(region int, gen uint64) {
+	ms.count -= len(ms.cache[region])
+	ms.cache[region] = nil
+	ms.pending[region] = ""
+	ms.gen[region] = gen
+	ms.compact()
+}
+
+// compact rebuilds the FIFO without stale references once they could
+// outnumber live slots; without it, repeated invalidation cycles would
+// grow the queue unboundedly even though the cache itself is bounded.
+func (ms *machineState) compact() {
+	if len(ms.fifo) <= 2*ms.count+64 {
+		return
+	}
+	live := ms.fifo[:0]
+	for _, ref := range ms.fifo {
+		if _, ok := ms.cache[ref.region][ref.key]; ok {
+			live = append(live, ref)
+		}
+	}
+	ms.fifo = live
 }
 
 // Attach wires the runtime into machine m. Each attached machine may be
 // driven by its own goroutine; Attach itself must not race with that
 // machine's execution.
 func (rt *Runtime) Attach(m *vm.Machine) {
-	ms := newMachineState(len(rt.Regions))
+	ms := newMachineState(rt)
 	m.OnDynEnter = func(m *vm.Machine, region int) (*vm.Segment, error) {
-		// Hot path: encode the key into the reusable buffer and look it up
-		// in the per-machine cache. Zero locks, zero allocations.
+		// Hot path: one atomic generation load, then encode the key into
+		// the reusable buffer and look it up in the per-machine cache.
+		// Zero locks, zero allocations (TestDynEnterZeroAlloc).
 		r := rt.Regions[region]
+		if g := rt.gens[region].Load(); g != ms.gen[region] {
+			ms.flushRegion(region, g) // invalidated since we last looked
+		}
 		key := appendKey(ms.keyBuf[:0], m, r)
 		ms.keyBuf = key
-		if seg, ok := ms.cache[region][string(key)]; ok {
-			return seg, nil
+		if slot, ok := ms.cache[region][string(key)]; ok {
+			slot.ref = true
+			return slot.seg, nil
 		}
 		return rt.enterCold(m, ms, region, key)
 	}
@@ -147,7 +356,10 @@ func (rt *Runtime) Attach(m *vm.Machine) {
 		for i := range ms.cache {
 			ms.cache[i] = nil
 			ms.pending[i] = ""
+			ms.gen[i] = rt.gens[i].Load()
 		}
+		ms.fifo = nil
+		ms.count = 0
 	}
 }
 
@@ -163,7 +375,7 @@ func (rt *Runtime) enterCold(m *vm.Machine, ms *machineState, region int,
 			// Another machine already stitched this exact specialization.
 			// Adopt it: no set-up runs, no stitch cost is charged — the
 			// paper's overhead was paid once, program-wide.
-			ms.put(region, ks, seg)
+			ms.put(rt, region, ks, seg)
 			return seg, nil
 		}
 	}
@@ -214,7 +426,7 @@ func (rt *Runtime) stitchNow(m *vm.Machine, ms *machineState, region int,
 	if err != nil {
 		return nil, fmt.Errorf("stitch region %s: %w", r.Name, err)
 	}
-	ms.put(region, key, seg)
+	ms.put(rt, region, key, seg)
 	rt.keepStitched(region, seg)
 
 	if stats != nil {
@@ -228,17 +440,27 @@ func (rt *Runtime) stitchNow(m *vm.Machine, ms *machineState, region int,
 	return seg, nil
 }
 
+// keepStitched retains seg for diagnostics. Dedup is a set membership test
+// (the seed scanned the region's whole slice per stitch — O(n) and
+// unbounded), and total retention is capped at KeepStitchedCap: once full,
+// later segments are not retained.
 func (rt *Runtime) keepStitched(region int, seg *vm.Segment) {
 	if !rt.Opts.Cache.KeepStitched {
 		return
 	}
 	rt.stitchedMu.Lock()
-	for _, s := range rt.Stitched[region] {
-		if s == seg {
-			rt.stitchedMu.Unlock()
-			return // adopted from the shared cache; already recorded
-		}
+	defer rt.stitchedMu.Unlock()
+	if _, ok := rt.stitchedSeen[seg]; ok {
+		return // adopted from the shared cache; already recorded
 	}
+	max := rt.Opts.Cache.KeepStitchedCap
+	if max <= 0 {
+		max = DefaultKeepStitchedCap
+	}
+	if rt.stitchedN >= max {
+		return
+	}
+	rt.stitchedSeen[seg] = struct{}{}
+	rt.stitchedN++
 	rt.Stitched[region] = append(rt.Stitched[region], seg)
-	rt.stitchedMu.Unlock()
 }

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Segment is an executable sequence of instructions: either a compiled
@@ -54,6 +55,21 @@ func (s *Segment) execPlan() *execPlan {
 	p := buildPlan(s)
 	s.plan.Store(p)
 	return p
+}
+
+// MemFootprint returns the approximate resident size of the segment's code
+// and tables in bytes. The runtime's stitch cache uses it to enforce
+// CacheOptions.MaxCodeBytes; it deliberately excludes the lazily built
+// execution plan (plan size is proportional to code size, so the bound
+// still scales correctly).
+func (s *Segment) MemFootprint() int {
+	n := len(s.Code) * int(unsafe.Sizeof(Inst{}))
+	n += len(s.Consts) * 8
+	for _, t := range s.JumpTables {
+		n += len(t) * 8
+	}
+	n += len(s.RegionOf)*2 + len(s.SetupOf) + len(s.RegionEntry)*4
+	return n
 }
 
 // Disasm renders the segment as assembly.
