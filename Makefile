@@ -1,18 +1,20 @@
 GO ?= go
 
-.PHONY: all check race bench bench-host bench-cache table2 clean
+.PHONY: all check race fuzz bench bench-host bench-cache bench-async table2 clean
 
 all: check
 
-# Tier 1: everything builds, vet is clean, the full suite passes, and the
-# cache/eviction machinery passes its package tests under the race
-# detector (fast enough for every check run; `race` still covers the
-# whole tree).
+# Tier 1: everything builds, vet is clean, the full suite passes, the
+# cache/eviction/async-stitch machinery passes its package tests under the
+# race detector (fast enough for every check run; `race` still covers the
+# whole tree), and the differential fuzzer gets a short smoke run over the
+# seed corpus plus fresh inputs.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rtr
+	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/testgen
 
 # Tier 2: static analysis plus the race-enabled suite (exercises the
 # concurrent stitch cache under the race detector).
@@ -36,6 +38,16 @@ bench-host:
 bench-cache:
 	$(GO) test -run '^$$' -bench CacheChurn -count=5 ./internal/bench
 	$(GO) run ./cmd/dynbench -cachechurn -json BENCH_3.json
+
+# Longer differential-fuzz session against the unoptimized-IR reference
+# interpreter (check already runs a 10s smoke).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 5m ./internal/testgen
+
+# Cold-burst latency: inline vs background stitching, written to
+# BENCH_4.json (the tiered-execution result).
+bench-async:
+	$(GO) run ./cmd/dynbench -asyncstitch -json BENCH_4.json
 
 # Regenerate the paper's tables on stdout.
 table2:

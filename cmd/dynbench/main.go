@@ -15,6 +15,11 @@
 // rate):
 //
 //	dynbench -cachechurn -json BENCH_3.json
+//
+// -asyncstitch measures caller-visible cold-key latency with inline versus
+// background stitching (the tiered-execution result):
+//
+//	dynbench -asyncstitch -json BENCH_4.json
 package main
 
 import (
@@ -39,6 +44,8 @@ type jsonReport struct {
 	HostComparison []*bench.HostComparison `json:"host_comparison,omitempty"`
 	// CacheChurn is present only when -cachechurn is given.
 	CacheChurn *bench.ChurnResult `json:"cache_churn,omitempty"`
+	// ColdBurst is present only when -asyncstitch is given.
+	ColdBurst *bench.ColdBurstResult `json:"cold_burst,omitempty"`
 	// GOMAXPROCS records how many OS threads the parallel sweep could
 	// actually use, so scaling numbers can be interpreted.
 	GOMAXPROCS int `json:"gomaxprocs"`
@@ -66,6 +73,7 @@ func main() {
 	uses := flag.Int("uses", 0, "override workload size")
 	parallel := flag.Int("parallel", 0, "run the parallel-machines sweep up to N machines")
 	cachechurn := flag.Bool("cachechurn", false, "run the bounded-cache churn benchmark (Zipf keys over a keyed region)")
+	asyncstitch := flag.Bool("asyncstitch", false, "run the cold-burst latency comparison (inline vs background stitching)")
 	churnCap := flag.Int("churncap", 0, "cache cap (MaxEntries) for -cachechurn (0 = default 256)")
 	churnKeys := flag.Int("churnkeys", 0, "distinct keys for -cachechurn (0 = default 4096)")
 	jsonPath := flag.String("json", "", "also write measurements to this file as JSON")
@@ -130,6 +138,17 @@ func main() {
 		fmt.Println()
 	}
 
+	var cold *bench.ColdBurstResult
+	if *asyncstitch {
+		cold, err = bench.ColdBurst(0, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Cold burst: caller-visible latency, inline vs background stitching")
+		bench.PrintColdBurst(os.Stdout, cold)
+		fmt.Println()
+	}
+
 	var sweep []*bench.ParallelResult
 	if *parallel > 0 {
 		sweep, err = bench.ParallelSweep(*parallel, *uses)
@@ -143,7 +162,8 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		rep := jsonReport{Parallel: sweep, CacheChurn: churn, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		rep := jsonReport{Parallel: sweep, CacheChurn: churn, ColdBurst: cold,
+			GOMAXPROCS: runtime.GOMAXPROCS(0)}
 		for _, m := range rows {
 			rep.Table2 = append(rep.Table2, jsonRow{
 				Name: m.Name, Config: m.Config, Speedup: m.Speedup,

@@ -98,6 +98,18 @@ type CacheOptions struct {
 	MachineMaxEntries int
 	// ChurnStats enables the per-region churn histogram (CacheChurn).
 	ChurnStats bool
+	// AsyncStitch moves stitching of keyed shareable regions to a bounded
+	// pool of background workers: a cold key's call runs the region on a
+	// generic (unspecialized) fallback tier and returns immediately; the
+	// stitched specialization is adopted on a later call once published.
+	// Call WaitIdle to quiesce and Close to release the workers.
+	AsyncStitch bool
+	// StitchWorkers / StitchQueue size the background pool (0 = defaults:
+	// 2 workers, a 64-deep queue). When the queue is full, cold keys are
+	// not enqueued (QueueRejects) and simply run on the fallback tier —
+	// backpressure never blocks a caller.
+	StitchWorkers int
+	StitchQueue   int
 }
 
 // Program is a compiled MiniC program.
@@ -127,6 +139,9 @@ func Compile(src string, cfg Config) (*Program, error) {
 			MaxCodeBytesPerRegion: cfg.Cache.MaxCodeBytesPerRegion,
 			MachineMaxEntries:     cfg.Cache.MachineMaxEntries,
 			ChurnStats:            cfg.Cache.ChurnStats,
+			AsyncStitch:           cfg.Cache.AsyncStitch,
+			StitchWorkers:         cfg.Cache.StitchWorkers,
+			StitchQueue:           cfg.Cache.StitchQueue,
 		},
 	})
 	if err != nil {
@@ -265,6 +280,24 @@ type RuntimeCacheStats struct {
 	EntriesResident uint64
 	BytesResident   uint64
 	PeakEntries     uint64
+
+	// Tiered execution (Config.Cache.AsyncStitch; all zero without it).
+	AsyncStitches uint64 // stitches completed by background workers
+	FallbackRuns  uint64 // region executions on the generic fallback tier
+	QueueRejects  uint64 // cold keys dropped because the stitch queue was full
+	AsyncDiscards uint64 // background stitches discarded by invalidation
+
+	// PromoteLatency histograms background schedule-to-publish latency:
+	// bucket i counts publishes in [2^(i-1), 2^i) nanoseconds.
+	PromoteLatency [rtr.PromoteBuckets]uint64
+}
+
+// PromoteQuantile returns an upper bound on the q-quantile (0 < q <= 1) of
+// the background publish latency in nanoseconds, or zero if nothing was
+// published by background workers.
+func (rs RuntimeCacheStats) PromoteQuantile(q float64) uint64 {
+	cs := rtr.CacheStats{PromoteLatency: rs.PromoteLatency}
+	return cs.PromoteQuantile(q)
 }
 
 // CacheStats reports shared stitch-cache behaviour for this program.
@@ -285,8 +318,22 @@ func (p *Program) CacheStats() RuntimeCacheStats {
 		EntriesResident: cs.EntriesResident,
 		BytesResident:   cs.BytesResident,
 		PeakEntries:     cs.PeakEntries,
+		AsyncStitches:   cs.AsyncStitches,
+		FallbackRuns:    cs.FallbackRuns,
+		QueueRejects:    cs.QueueRejects,
+		AsyncDiscards:   cs.AsyncDiscards,
+		PromoteLatency:  cs.PromoteLatency,
 	}
 }
+
+// WaitIdle blocks until every scheduled background stitch has been
+// published or discarded. A no-op unless AsyncStitch is set.
+func (p *Program) WaitIdle() { p.c.Runtime.WaitIdle() }
+
+// Close stops the background stitch workers, failing any still-queued
+// stitches (their keys re-schedule if called again — machines keep
+// working). Idempotent; a no-op unless AsyncStitch is set.
+func (p *Program) Close() { p.c.Runtime.Close() }
 
 // RegionCacheChurn is one row of the per-region churn histogram (enable
 // with CacheOptions.ChurnStats): how many stitches, capacity evictions and

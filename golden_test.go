@@ -1,9 +1,11 @@
 package dyncc
 
 import (
+	"strings"
 	"testing"
 
 	"dyncc/internal/bench"
+	"dyncc/internal/rtr"
 	"dyncc/internal/vm"
 )
 
@@ -139,6 +141,39 @@ func TestTable2FusionGolden(t *testing.T) {
 			t.Errorf("%s: Table 2 row changed by fusion:\nfused   %s\nunfused %s",
 				fused.Name, fused, unfused)
 		}
+	}
+}
+
+// TestTable3AsyncGolden pins tiered execution to the paper artifact: the
+// Table 3 optimization matrix is derived from splitter plans and folded
+// stitcher statistics, and after the harness quiesces the background pool
+// every distinct key has been stitched exactly once — so turning
+// AsyncStitch on must not move a single byte of the rendered table.
+func TestTable3AsyncGolden(t *testing.T) {
+	kernels := []func(bench.Config) (*bench.Measurement, error){
+		bench.Calculator,
+	}
+	if !testing.Short() {
+		kernels = append(kernels, bench.ScalarMatrix, bench.CacheSim)
+	}
+	render := func(cfg bench.Config) string {
+		var rows []*bench.Measurement
+		for _, mk := range kernels {
+			m, err := mk(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows = append(rows, m)
+		}
+		var sb strings.Builder
+		bench.PrintTable3(&sb, bench.Table3(rows))
+		return sb.String()
+	}
+	inline := render(bench.Config{})
+	async := render(bench.Config{Cache: rtr.CacheOptions{AsyncStitch: true}})
+	if inline != async {
+		t.Errorf("Table 3 changed under AsyncStitch:\n--- inline ---\n%s--- async ---\n%s",
+			inline, async)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"dyncc/internal/core"
+	"dyncc/internal/rtr"
 	"dyncc/internal/stitcher"
 	"dyncc/internal/tmpl"
 	"dyncc/internal/vm"
@@ -23,6 +24,10 @@ type Config struct {
 	MergedStitch        bool // paper section 7: one-pass set-up + stitch
 	// Uses overrides the default workload size (0 keeps the default).
 	Uses int
+	// Cache configures the dynamic runtime's stitch cache — notably
+	// AsyncStitch, which moves stitching to background workers while
+	// callers run the generic fallback tier.
+	Cache rtr.CacheOptions
 }
 
 // Measurement is one row of Table 2.
@@ -79,6 +84,7 @@ func compileBoth(src string, cfg Config) (stat, dyn *core.Compiled, err error) {
 	}
 	dyn, err = core.Compile(src, core.Config{Dynamic: true, Optimize: true,
 		MergedStitch: cfg.MergedStitch,
+		Cache:        cfg.Cache,
 		Stitcher: stitcher.Options{
 			RegisterActions:     cfg.RegisterActions,
 			NoStrengthReduction: cfg.NoStrengthReduction,
@@ -123,6 +129,12 @@ func measure(b *benchmark, cfg Config) (*Measurement, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s dynamic: %w", b.name, err)
 	}
+	// Quiesce background stitching (no-op without AsyncStitch) so the
+	// folded stitcher statistics are complete before they are read: after
+	// the pool drains, every distinct key has been stitched exactly once,
+	// so Table 3's optimization matrix is mode-invariant.
+	dyn.Runtime.WaitIdle()
+	defer dyn.Runtime.Close()
 	src := sm.Region(0)
 	drc := dm.Region(0)
 	units := float64(b.uses) * b.unitsPerUse

@@ -66,6 +66,12 @@ type ChurnResult struct {
 	HotHits         uint64  `json:"hot_hits"`
 	HotHitRate      float64 `json:"hot_hit_rate"`
 
+	// Tiered-execution counters, present only when Async is set.
+	Async         bool   `json:"async,omitempty"`
+	AsyncStitches uint64 `json:"async_stitches,omitempty"`
+	FallbackRuns  uint64 `json:"fallback_runs,omitempty"`
+	QueueRejects  uint64 `json:"queue_rejects,omitempty"`
+
 	Churn []rtr.RegionChurn `json:"churn,omitempty"`
 }
 
@@ -75,6 +81,16 @@ type ChurnResult struct {
 // same). Zero arguments select the standard configuration. Key streams are
 // seeded per machine, so runs are deterministic.
 func CacheChurn(machines, usesPerMachine, keySpace, maxEntries int) (*ChurnResult, error) {
+	return CacheChurnMode(machines, usesPerMachine, keySpace, maxEntries, false)
+}
+
+// CacheChurnMode is CacheChurn with a mode switch: async runs the same
+// workload with background stitching on, so cold and re-stitched keys are
+// served by the generic fallback tier while workers stitch. Hot-hit
+// detection switches from "no compile charged" to "no set-up ran" — under
+// async a machine never compiles, but a call that missed everywhere still
+// executes the region's set-up code before taking the fallback tier.
+func CacheChurnMode(machines, usesPerMachine, keySpace, maxEntries int, async bool) (*ChurnResult, error) {
 	if machines < 1 {
 		machines = churnMachines
 	}
@@ -93,12 +109,27 @@ func CacheChurn(machines, usesPerMachine, keySpace, maxEntries int) (*ChurnResul
 			MaxEntries:        maxEntries,
 			MachineMaxEntries: maxEntries,
 			ChurnStats:        true,
+			AsyncStitch:       async,
 		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cachechurn: %w", err)
 	}
+	defer c.Runtime.Close()
 	ms := c.NewMachines(machines)
+	// Prime the Zipf head once before the clock starts: the measured phase
+	// then reports steady-state eviction quality (does the cache keep the
+	// hot set resident under tail churn?) rather than cold-start latency.
+	// Under async stitching the pool is drained so the head is actually
+	// published — the machines can issue cold keys orders of magnitude
+	// faster than any background pool could stitch them, and cold-start
+	// promotion behaviour is measured separately (ColdBurst).
+	for k := int64(1); k <= int64(churnHotKeys); k++ {
+		if _, err := ms[0].Call("scale", k, 1); err != nil {
+			return nil, fmt.Errorf("cachechurn warmup: %w", err)
+		}
+	}
+	c.Runtime.WaitIdle()
 	errs := make([]error, machines)
 	hotCalls := make([]uint64, machines)
 	hotHits := make([]uint64, machines)
@@ -115,7 +146,8 @@ func CacheChurn(machines, usesPerMachine, keySpace, maxEntries int) (*ChurnResul
 				rank := zipf.Uint64()
 				k := int64(rank) + 1
 				x := int64(n%1000) + 1
-				before := m.Region(0).Compiles
+				rc := m.Region(0)
+				beforeCompiles, beforeSetup := rc.Compiles, rc.SetupCycles
 				got, err := m.Call("scale", k, x)
 				if err != nil {
 					errs[i] = err
@@ -130,7 +162,15 @@ func CacheChurn(machines, usesPerMachine, keySpace, maxEntries int) (*ChurnResul
 					// A hot call is a hit when this machine paid no
 					// stitch: warm dispatch, shared-cache adoption and
 					// singleflight waits all count (no compile charged).
-					if m.Region(0).Compiles == before {
+					// Under async nothing ever compiles on a machine, so
+					// the discriminator is set-up: a miss runs set-up
+					// before taking the fallback tier, a hit runs none.
+					rc = m.Region(0)
+					hit := rc.Compiles == beforeCompiles
+					if async {
+						hit = rc.SetupCycles == beforeSetup
+					}
+					if hit {
 						hotHits[i]++
 					}
 				}
@@ -138,6 +178,7 @@ func CacheChurn(machines, usesPerMachine, keySpace, maxEntries int) (*ChurnResul
 		}(i)
 	}
 	wg.Wait()
+	c.Runtime.WaitIdle() // drain background stitches before reading stats
 	elapsed := time.Since(start)
 	for _, err := range errs {
 		if err != nil {
@@ -164,6 +205,11 @@ func CacheChurn(machines, usesPerMachine, keySpace, maxEntries int) (*ChurnResul
 		PeakEntries:     cs.PeakEntries,
 		BytesResident:   cs.BytesResident,
 		Churn:           c.Runtime.Churn(),
+
+		Async:         async,
+		AsyncStitches: cs.AsyncStitches,
+		FallbackRuns:  cs.FallbackRuns,
+		QueueRejects:  cs.QueueRejects,
 	}
 	for i := range hotCalls {
 		res.HotCalls += hotCalls[i]
@@ -190,4 +236,8 @@ func PrintChurn(w io.Writer, r *ChurnResult) {
 	fmt.Fprintf(w, "  %-22s %12d\n", "bytes resident", r.BytesResident)
 	fmt.Fprintf(w, "  %-22s %11.1f%%  (top %d keys)\n",
 		"hot-set hit rate", 100*r.HotHitRate, r.HotKeys)
+	if r.Async {
+		fmt.Fprintf(w, "  %-22s %12d  (fallback runs %d, queue rejects %d)\n",
+			"async stitches", r.AsyncStitches, r.FallbackRuns, r.QueueRejects)
+	}
 }

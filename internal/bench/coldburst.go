@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+)
+
+// coldSrc is the cold-burst kernel: a keyed region whose specialization is
+// deliberately stitch-heavy (a 32-iteration unrolled loop, so every key
+// costs ~hundreds of stitched instructions). Inline, a cold key's caller
+// pays that whole stitch on its own call; async, the caller runs the
+// generic fallback tier and the stitch happens on a background worker.
+const coldSrc = `
+int burst(int k, int x) {
+    int acc;
+    int i;
+    acc = 0;
+    dynamicRegion key(k) () {
+        unrolled for (i = 0; i < 32; i++) {
+            acc = acc + x * (k + i);
+        }
+    }
+    return acc + k;
+}`
+
+// coldExpect is the kernel's closed form: sum over i<32 of x*(k+i), plus k.
+func coldExpect(k, x int64) int64 { return x*(32*k+496) + k }
+
+// Cold-burst defaults: enough distinct cold keys that tail quantiles are
+// meaningful, and a warm phase long enough to time steady-state dispatch.
+const (
+	coldBurstKeys  = 400
+	coldBurstWarm  = 20000
+	coldBurstRetry = 100 // attempts to promote the warm key before timing
+)
+
+// ColdBurstResult compares cold-key call latency (wall clock, host side)
+// between inline and asynchronous stitching. The burst calls each of Keys
+// distinct cold keys exactly once on a single machine and records each
+// call's latency; the warm phase then times steady-state dispatch of one
+// promoted key. The paper's cycle-model tables are mode-invariant
+// (TestTable3AsyncGolden); this is the host-latency result the tiered
+// runtime exists for — taking the stitch off the caller's critical path.
+type ColdBurstResult struct {
+	Keys int `json:"keys"`
+
+	InlineP50 time.Duration `json:"inline_p50_ns"`
+	InlineP99 time.Duration `json:"inline_p99_ns"`
+	AsyncP50  time.Duration `json:"async_p50_ns"`
+	AsyncP99  time.Duration `json:"async_p99_ns"`
+	// P99Ratio is InlineP99 / AsyncP99 — how much shorter the cold tail
+	// gets when stitching moves off the caller's path.
+	P99Ratio float64 `json:"p99_ratio"`
+
+	// Warm steady-state dispatch cost (ns per call of one promoted key) —
+	// the async path must not tax the warm path.
+	InlineWarmNs float64 `json:"inline_warm_ns_per_call"`
+	AsyncWarmNs  float64 `json:"async_warm_ns_per_call"`
+
+	// Async-pool accounting for the burst.
+	AsyncStitches uint64 `json:"async_stitches"`
+	FallbackRuns  uint64 `json:"fallback_runs"`
+	QueueRejects  uint64 `json:"queue_rejects"`
+	PromoteP99Ns  uint64 `json:"promote_p99_ns"`
+}
+
+// quantile returns the q-quantile of sorted durations.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// coldRun drives the burst+warm workload in one mode and reports the
+// sorted cold latencies, the warm per-call cost, and the cache stats.
+func coldRun(keys, warmIters int, async bool) ([]time.Duration, float64, rtr.CacheStats, error) {
+	var zero rtr.CacheStats
+	c, err := core.Compile(coldSrc, core.Config{
+		Dynamic: true, Optimize: true,
+		Cache: rtr.CacheOptions{AsyncStitch: async},
+	})
+	if err != nil {
+		return nil, 0, zero, fmt.Errorf("coldburst compile: %w", err)
+	}
+	defer c.Runtime.Close()
+	m := c.NewMachine(0)
+
+	lats := make([]time.Duration, 0, keys)
+	for k := int64(1); k <= int64(keys); k++ {
+		t0 := time.Now()
+		got, err := m.Call("burst", k, 3)
+		lat := time.Since(t0)
+		if err != nil {
+			return nil, 0, zero, fmt.Errorf("coldburst key %d: %w", k, err)
+		}
+		if got != coldExpect(k, 3) {
+			return nil, 0, zero, fmt.Errorf("burst(%d,3) = %d, want %d", k, got, coldExpect(k, 3))
+		}
+		lats = append(lats, lat)
+	}
+
+	// Warm phase: promote key 1, then time steady-state dispatch. Under
+	// async the burst may have rejected key 1's stitch (the queue was cold-
+	// flooded), so re-drive it until the published segment is adopted.
+	c.Runtime.WaitIdle()
+	for i := 0; i < coldBurstRetry && async && c.Runtime.Peek(0, 1) == nil; i++ {
+		if _, err := m.Call("burst", 1, 3); err != nil {
+			return nil, 0, zero, err
+		}
+		c.Runtime.WaitIdle()
+	}
+	if _, err := m.Call("burst", 1, 3); err != nil { // adopt into the private cache
+		return nil, 0, zero, err
+	}
+	t0 := time.Now()
+	for i := 0; i < warmIters; i++ {
+		if _, err := m.Call("burst", 1, 3); err != nil {
+			return nil, 0, zero, err
+		}
+	}
+	warmNs := float64(time.Since(t0).Nanoseconds()) / float64(warmIters)
+
+	stats := c.Runtime.CacheStats() // after quiesce, so pool work is visible
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats, warmNs, stats, nil
+}
+
+// ColdBurst runs the cold-burst workload in both modes. Zero arguments
+// select the standard configuration (400 cold keys, 20000 warm calls).
+func ColdBurst(keys, warmIters int) (*ColdBurstResult, error) {
+	if keys < 1 {
+		keys = coldBurstKeys
+	}
+	if warmIters < 1 {
+		warmIters = coldBurstWarm
+	}
+	inline, inlineWarm, _, err := coldRun(keys, warmIters, false)
+	if err != nil {
+		return nil, err
+	}
+	async, asyncWarm, stats, err := coldRun(keys, warmIters, true)
+	if err != nil {
+		return nil, err
+	}
+	r := &ColdBurstResult{
+		Keys:          keys,
+		InlineP50:     quantile(inline, 0.50),
+		InlineP99:     quantile(inline, 0.99),
+		AsyncP50:      quantile(async, 0.50),
+		AsyncP99:      quantile(async, 0.99),
+		InlineWarmNs:  inlineWarm,
+		AsyncWarmNs:   asyncWarm,
+		AsyncStitches: stats.AsyncStitches,
+		FallbackRuns:  stats.FallbackRuns,
+		QueueRejects:  stats.QueueRejects,
+		PromoteP99Ns:  stats.PromoteQuantile(0.99),
+	}
+	if r.AsyncP99 > 0 {
+		r.P99Ratio = float64(r.InlineP99) / float64(r.AsyncP99)
+	}
+	return r, nil
+}
+
+// PrintColdBurst renders the cold-burst report.
+func PrintColdBurst(w io.Writer, r *ColdBurstResult) {
+	fmt.Fprintf(w, "%d cold keys, one call each (stitch-heavy keyed kernel, wall clock)\n", r.Keys)
+	fmt.Fprintf(w, "  %-26s p50 %8v   p99 %8v\n", "inline stitch", r.InlineP50, r.InlineP99)
+	fmt.Fprintf(w, "  %-26s p50 %8v   p99 %8v\n", "async (fallback tier)", r.AsyncP50, r.AsyncP99)
+	fmt.Fprintf(w, "  %-26s %8.1fx\n", "cold p99 improvement", r.P99Ratio)
+	fmt.Fprintf(w, "  %-26s inline %6.0f ns/call   async %6.0f ns/call\n",
+		"warm dispatch", r.InlineWarmNs, r.AsyncWarmNs)
+	fmt.Fprintf(w, "  %-26s %d stitched, %d fallback runs, %d queue rejects, promote p99 %dns\n",
+		"async pool", r.AsyncStitches, r.FallbackRuns, r.QueueRejects, r.PromoteP99Ns)
+}

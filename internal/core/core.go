@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"dyncc/internal/codegen"
 	"dyncc/internal/ir"
@@ -124,6 +125,26 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 			}
 		}
 	}
+	if cfg.Dynamic && cfg.Cache.AsyncStitch {
+		// Background stitching needs to rebuild a region's table from the
+		// key bytes alone, with no machine. That is exactly the Shareable
+		// proof (codegen/share.go): set-up consumes nothing but key values
+		// and machine-independent constants. Install a key-driven set-up
+		// evaluator for every keyed shareable region; regions without one
+		// keep stitching inline.
+		idx := 0
+		for _, f := range mod.Funcs {
+			for _, r := range f.Regions {
+				if sr := splits[r]; sr != nil && idx < len(out.Regions) &&
+					out.Regions[idx].Shareable && len(r.Keys) > 0 {
+					if fn := makeKeySetupFn(mod, f, r, sr); fn != nil {
+						c.Runtime.KeySetup[idx] = fn
+					}
+				}
+				idx++
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -194,6 +215,143 @@ func makeSetupFn(mod *ir.Module, f *ir.Func, sr *split.Result,
 		}
 		tbl, err := env.RunSetup(f, sr.SetupEntry, init)
 		return tbl, uint64(env.Steps) * mergedSetupCostPerStep, err
+	}
+}
+
+// Arena sizing for key-driven set-up evaluation: the worker interprets
+// set-up against a private memory image (globals area reserved, tables
+// bump-allocated above it) and retries with a doubled arena if the
+// region's table outgrows it.
+const (
+	minKeySetupArena = 1 << 13
+	maxKeySetupArena = 1 << 24
+)
+
+// makeKeySetupFn builds the key-driven set-up evaluator the async stitch
+// workers use: given only the region's key values, interpret the set-up
+// subgraph in a private arena and return (arena, table base). It returns
+// nil when any set-up input is neither a key nor a compile-time-resolvable
+// constant — which the Shareable proof rules out, so nil is purely
+// defensive (the region then stitches inline, never incorrectly).
+func makeKeySetupFn(mod *ir.Module, f *ir.Func, r *ir.Region,
+	sr *split.Result) func(keyVals []int64) ([]int64, int64, error) {
+
+	// Values read by set-up code but defined outside it (the same
+	// computation as makeSetupFn).
+	defined := map[ir.Value]bool{}
+	for _, b := range f.Blocks {
+		if !b.Setup || b.Region != sr.Region {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Dst != 0 {
+				defined[in.Dst] = true
+			}
+		}
+	}
+	var inputs []ir.Value
+	seen := map[ir.Value]bool{}
+	for _, b := range f.Blocks {
+		if !b.Setup || b.Region != sr.Region {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !defined[a] && !seen[a] {
+					seen[a] = true
+					inputs = append(inputs, a)
+				}
+			}
+		}
+	}
+
+	// Bind every input at build time: keys positionally, constants by
+	// evaluating their defining instruction.
+	keyIdx := map[ir.Value]int{}
+	for i, k := range r.Keys {
+		keyIdx[k] = i
+	}
+	def := map[ir.Value]*ir.Instr{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != 0 {
+				def[in.Dst] = in
+			}
+		}
+	}
+	constBind := map[ir.Value]int64{}
+	for _, v := range inputs {
+		if _, ok := keyIdx[v]; ok {
+			continue
+		}
+		in := def[v]
+		if in == nil {
+			return nil // a parameter that is not a key: not key-derivable
+		}
+		switch in.Op {
+		case ir.OpConst:
+			constBind[v] = in.Const
+		case ir.OpFConst:
+			constBind[v] = int64(math.Float64bits(in.F))
+		case ir.OpGlobalAddr:
+			g := mod.GlobalIndex[in.Sym]
+			if g == nil {
+				return nil
+			}
+			constBind[v] = int64(g.Addr)
+		default:
+			return nil
+		}
+	}
+
+	base := int64(mod.GlobalWords)
+	return func(keyVals []int64) ([]int64, int64, error) {
+		if len(keyVals) != len(r.Keys) {
+			return nil, 0, fmt.Errorf("key set-up: %d key values, want %d",
+				len(keyVals), len(r.Keys))
+		}
+		size := int64(minKeySetupArena)
+		for size < base+64 {
+			size *= 2
+		}
+		for ; ; size *= 2 {
+			mem := make([]int64, size)
+			hp := base
+			grew := false
+			env := &ir.InterpEnv{
+				Mod:          mod,
+				Mem:          mem,
+				Limit:        1 << 20,
+				UseFrameBase: true, // set-up has no frame addresses (share proof)
+				AllocFn: func(n int64) (int64, error) {
+					if n < 0 {
+						return 0, fmt.Errorf("key set-up: negative allocation")
+					}
+					a := hp
+					hp += n
+					if hp > int64(len(mem)) {
+						grew = true
+						return 0, fmt.Errorf("key set-up: arena exhausted")
+					}
+					return a, nil
+				},
+			}
+			init := map[ir.Value]int64{}
+			for i, k := range r.Keys {
+				init[k] = keyVals[i]
+			}
+			for v, c := range constBind {
+				init[v] = c
+			}
+			tbl, err := env.RunSetup(f, sr.SetupEntry, init)
+			if err != nil {
+				if grew && size < maxKeySetupArena {
+					continue
+				}
+				return nil, 0, err
+			}
+			return mem, tbl, nil
+		}
 	}
 }
 

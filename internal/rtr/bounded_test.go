@@ -12,9 +12,10 @@ import (
 
 // TestEvictionBoundedUnderRace is the satellite eviction-correctness test:
 // N machines hammer a keyed region whose key cardinality (64) exceeds
-// MaxEntries (8). Results must stay correct throughout, the resident-entry
-// count must never exceed the cap (Shards:1 makes the bound strict), and
-// the lookup-accounting invariant must hold under full concurrency.
+// MaxEntries (8), in both stitch modes. Results must stay correct
+// throughout, the resident-entry count must never exceed the cap (Shards:1
+// makes the bound strict), and the lookup-accounting invariant must hold
+// under full concurrency.
 func TestEvictionBoundedUnderRace(t *testing.T) {
 	const (
 		machines = 4
@@ -22,60 +23,75 @@ func TestEvictionBoundedUnderRace(t *testing.T) {
 		keyCard  = 64
 		cap      = 8
 	)
-	c := compileKeyed(t, rtr.CacheOptions{
-		Shards:            1,
-		MaxEntries:        cap,
-		MachineMaxEntries: cap,
-	})
-	var wg sync.WaitGroup
-	errs := make([]error, machines)
-	for i := 0; i < machines; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			m := c.NewMachine(0)
-			for r := 0; r < rounds; r++ {
-				// Each machine walks the key space at its own stride so
-				// the interleavings differ across goroutines.
-				for n := 0; n < keyCard; n++ {
-					s := int64((n*(i+1))%keyCard) + 1
-					x := int64(r*keyCard + n + 1)
-					got, err := m.Call("scale", s, x)
-					if err != nil {
-						errs[i] = err
-						return
+	for _, async := range []bool{false, true} {
+		name := "inline"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := compileKeyed(t, rtr.CacheOptions{
+				Shards:            1,
+				MaxEntries:        cap,
+				MachineMaxEntries: cap,
+				AsyncStitch:       async,
+			})
+			defer c.Runtime.Close()
+			var wg sync.WaitGroup
+			errs := make([]error, machines)
+			for i := 0; i < machines; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					m := c.NewMachine(0)
+					for r := 0; r < rounds; r++ {
+						// Each machine walks the key space at its own stride so
+						// the interleavings differ across goroutines.
+						for n := 0; n < keyCard; n++ {
+							s := int64((n*(i+1))%keyCard) + 1
+							x := int64(r*keyCard + n + 1)
+							got, err := m.Call("scale", s, x)
+							if err != nil {
+								errs[i] = err
+								return
+							}
+							if got != s*x {
+								errs[i] = fmt.Errorf("scale(%d,%d) = %d, want %d", s, x, got, s*x)
+								return
+							}
+						}
 					}
-					if got != s*x {
-						errs[i] = fmt.Errorf("scale(%d,%d) = %d, want %d", s, x, got, s*x)
-						return
-					}
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("machine %d: %v", i, err)
 				}
 			}
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			t.Fatalf("machine %d: %v", i, err)
-		}
-	}
+			c.Runtime.WaitIdle()
 
-	cs := c.Runtime.CacheStats()
-	if cs.PeakEntries > cap {
-		t.Errorf("peak resident entries %d exceeds cap %d", cs.PeakEntries, cap)
-	}
-	if cs.EntriesResident > cap {
-		t.Errorf("resident entries %d exceeds cap %d", cs.EntriesResident, cap)
-	}
-	if cs.Evictions == 0 {
-		t.Error("no evictions despite key cardinality 8x the cap")
-	}
-	if cs.Stitches <= keyCard {
-		t.Errorf("stitches %d: churn should force re-stitches beyond the %d keys",
-			cs.Stitches, keyCard)
-	}
-	if cs.Lookups != cs.SharedHits+cs.Waits+cs.FailedHits+cs.Misses {
-		t.Errorf("lookup accounting invariant violated: %+v", cs)
+			cs := c.Runtime.CacheStats()
+			if cs.PeakEntries > cap {
+				t.Errorf("peak resident entries %d exceeds cap %d", cs.PeakEntries, cap)
+			}
+			if cs.EntriesResident > cap {
+				t.Errorf("resident entries %d exceeds cap %d", cs.EntriesResident, cap)
+			}
+			if cs.Evictions == 0 {
+				t.Error("no evictions despite key cardinality 8x the cap")
+			}
+			if cs.Stitches <= keyCard {
+				t.Errorf("stitches %d: churn should force re-stitches beyond the %d keys",
+					cs.Stitches, keyCard)
+			}
+			if cs.Lookups != cs.SharedHits+cs.Waits+cs.FailedHits+cs.Misses {
+				t.Errorf("lookup accounting invariant violated: %+v", cs)
+			}
+			if async && cs.AsyncStitches != cs.Stitches {
+				t.Errorf("async stitches %d != stitches %d: something compiled inline",
+					cs.AsyncStitches, cs.Stitches)
+			}
+		})
 	}
 }
 

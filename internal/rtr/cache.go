@@ -74,6 +74,26 @@ type CacheOptions struct {
 	// The counters are touched only on the cold stitch/evict paths, but
 	// they are off by default to keep the zero value allocation-free.
 	ChurnStats bool
+
+	// AsyncStitch routes shared-cache misses of key-driven shareable
+	// regions to a bounded background worker pool instead of stitching
+	// inline: the missing call (and every call until the stitch publishes)
+	// executes the region on the generic fallback tier — set-up plus an
+	// unspecialized rendering of the templates (stitcher.Generic) — so no
+	// caller ever blocks on compilation. Requires a key set-up function
+	// (Runtime.KeySetup, installed by the compiler front end for regions it
+	// proved shareable); regions without one stitch inline as before.
+	// See async.go for the pipeline and DESIGN.md "Tiered execution".
+	AsyncStitch bool
+	// StitchWorkers sizes the background stitcher pool
+	// (0 = DefaultStitchWorkers). Workers are started lazily on the first
+	// scheduled stitch and stopped by Runtime.Close.
+	StitchWorkers int
+	// StitchQueue bounds the pending-stitch queue
+	// (0 = DefaultStitchQueue). When the queue is full, new cold keys are
+	// not enqueued (backpressure, counted in CacheStats.QueueRejects);
+	// their callers stay on the fallback tier and a later miss retries.
+	StitchQueue int
 }
 
 // cacheKey identifies one specialization in the shared cache.

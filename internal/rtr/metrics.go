@@ -42,6 +42,45 @@ type CacheStats struct {
 	EntriesResident uint64 // completed segments currently cached
 	BytesResident   uint64 // their code footprint (vm.Segment.MemFootprint)
 	PeakEntries     uint64 // high-water mark of EntriesResident
+
+	// Tiered execution (CacheOptions.AsyncStitch; all zero without it).
+	// FallbackRuns is additive observability — it counts region executions
+	// on the generic tier, not lookups, so the lookup invariant above is
+	// untouched: a fallback run's lookup was already classified as a Miss
+	// (it scheduled the stitch) or a Wait (it coalesced onto one).
+	AsyncStitches uint64 // stitches completed by background workers
+	FallbackRuns  uint64 // region executions on the generic fallback tier
+	QueueRejects  uint64 // cold keys not enqueued because the queue was full
+	AsyncDiscards uint64 // background stitches discarded by invalidation
+
+	// PromoteLatency histograms the schedule-to-publish latency of
+	// background stitches: bucket i counts publishes in [2^(i-1), 2^i) ns.
+	PromoteLatency [PromoteBuckets]uint64
+}
+
+// PromoteQuantile returns an upper bound on the q-quantile (0 < q <= 1) of
+// the publish latency, from the power-of-two histogram. Zero if nothing
+// was published.
+func (cs *CacheStats) PromoteQuantile(q float64) uint64 {
+	var total uint64
+	for _, n := range cs.PromoteLatency {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	var seen uint64
+	for i, n := range cs.PromoteLatency {
+		seen += n
+		if seen >= want {
+			return uint64(1) << uint(i) // bucket upper bound in ns
+		}
+	}
+	return uint64(1) << (PromoteBuckets - 1)
 }
 
 // RegionChurn is one row of the optional per-region churn histogram
@@ -79,6 +118,13 @@ func (rt *Runtime) CacheStats() CacheStats {
 	cs.EntriesResident = uint64(rt.resident.Load())
 	cs.BytesResident = uint64(rt.residentBytes.Load())
 	cs.PeakEntries = uint64(rt.peakEntries.Load())
+	cs.AsyncStitches = rt.asyncStitches.Load()
+	cs.FallbackRuns = rt.fallbackRuns.Load()
+	cs.QueueRejects = rt.queueRejects.Load()
+	cs.AsyncDiscards = rt.asyncDiscards.Load()
+	for i := range rt.promoteHist {
+		cs.PromoteLatency[i] = rt.promoteHist[i].Load()
+	}
 	return cs
 }
 

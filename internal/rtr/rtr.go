@@ -89,6 +89,16 @@ type Runtime struct {
 	// populated before the first Attach; it is read without locks after.
 	SetupFn map[int]func(m *vm.Machine) (int64, uint64, error)
 
+	// KeySetup, when present for a region, rebuilds the region's run-time
+	// constants table from the key values alone, in a private arena (no
+	// machine involved): it returns the arena and the table base within it.
+	// The compiler installs one for every region it proved Shareable —
+	// exactly the proof that set-up depends on nothing but the keys — and
+	// the async stitching pipeline uses it to stitch on background workers
+	// (see async.go). Like SetupFn it must be fully populated before the
+	// first Attach and is read without locks after.
+	KeySetup map[int]func(keyVals []int64) (mem []int64, tbl int64, err error)
+
 	// shards is the level-1 shared cache (see package comment).
 	shards []shard
 
@@ -108,6 +118,23 @@ type Runtime struct {
 	privateStitches atomic.Uint64
 	invalidations   atomic.Uint64
 	l2Evictions     atomic.Uint64
+
+	// Asynchronous stitching state (see async.go). jobs and quit are nil
+	// unless CacheOptions.AsyncStitch is set; everything here is inert
+	// otherwise.
+	jobs       chan stitchJob
+	quit       chan struct{}
+	workerOnce sync.Once
+	closeOnce  sync.Once
+	inflight   atomic.Int64 // queued + running background stitches
+	genericMu  sync.Mutex
+	generics   []genericSlot
+
+	asyncStitches atomic.Uint64
+	fallbackRuns  atomic.Uint64
+	queueRejects  atomic.Uint64
+	asyncDiscards atomic.Uint64
+	promoteHist   [PromoteBuckets]atomic.Uint64
 }
 
 // New creates a runtime for prog with the given region metadata.
@@ -119,6 +146,7 @@ func New(prog *vm.Program, regions []*tmpl.Region, opts Options) *Runtime {
 		Stitched:       map[int][]*vm.Segment{},
 		stitchedSeen:   map[*vm.Segment]struct{}{},
 		SetupFn:        map[int]func(m *vm.Machine) (int64, uint64, error){},
+		KeySetup:       map[int]func(keyVals []int64) (mem []int64, tbl int64, err error){},
 		shards:         make([]shard, numShards(opts.Cache.Shards)),
 		gens:           make([]atomic.Uint64, len(regions)),
 		regionResident: make([]atomic.Int64, len(regions)),
@@ -126,6 +154,15 @@ func New(prog *vm.Program, regions []*tmpl.Region, opts Options) *Runtime {
 	}
 	for i := range rt.shards {
 		rt.shards[i].entries = map[cacheKey]*entry{}
+	}
+	if opts.Cache.AsyncStitch {
+		q := opts.Cache.StitchQueue
+		if q <= 0 {
+			q = DefaultStitchQueue
+		}
+		rt.jobs = make(chan stitchJob, q)
+		rt.quit = make(chan struct{})
+		rt.generics = make([]genericSlot, len(regions))
 	}
 	return rt
 }
@@ -229,23 +266,25 @@ type l2ref struct {
 // machineState is the level-2 cache plus scratch state of one attached
 // machine. It is touched only by the machine's own goroutine.
 type machineState struct {
-	cache   []map[string]*l2slot // region -> key bytes -> slot
-	pending []string             // region -> key awaiting DYNSTITCH
-	keyBuf  []byte               // reusable key-encoding buffer
-	gen     []uint64             // per-region generation snapshot
-	fifo    []l2ref              // insertion order for second-chance eviction
-	count   int                  // live slots across regions
-	max     int                  // CacheOptions.MachineMaxEntries (0 = unbounded)
+	cache    []map[string]*l2slot // region -> key bytes -> slot
+	pending  []string             // region -> key awaiting DYNSTITCH
+	fallback []bool               // region -> DYNSTITCH takes the generic tier
+	keyBuf   []byte               // reusable key-encoding buffer
+	gen      []uint64             // per-region generation snapshot
+	fifo     []l2ref              // insertion order for second-chance eviction
+	count    int                  // live slots across regions
+	max      int                  // CacheOptions.MachineMaxEntries (0 = unbounded)
 }
 
 func newMachineState(rt *Runtime) *machineState {
 	n := len(rt.Regions)
 	ms := &machineState{
-		cache:   make([]map[string]*l2slot, n),
-		pending: make([]string, n),
-		keyBuf:  make([]byte, 0, 64),
-		gen:     make([]uint64, n),
-		max:     rt.Opts.Cache.MachineMaxEntries,
+		cache:    make([]map[string]*l2slot, n),
+		pending:  make([]string, n),
+		fallback: make([]bool, n),
+		keyBuf:   make([]byte, 0, 64),
+		gen:      make([]uint64, n),
+		max:      rt.Opts.Cache.MachineMaxEntries,
 	}
 	for i := range ms.gen {
 		ms.gen[i] = rt.gens[i].Load()
@@ -301,6 +340,7 @@ func (ms *machineState) flushRegion(region int, gen uint64) {
 	ms.count -= len(ms.cache[region])
 	ms.cache[region] = nil
 	ms.pending[region] = ""
+	ms.fallback[region] = false
 	ms.gen[region] = gen
 	ms.compact()
 }
@@ -345,6 +385,15 @@ func (rt *Runtime) Attach(m *vm.Machine) {
 	m.OnDynStitch = func(m *vm.Machine, region int) (*vm.Segment, error) {
 		key := ms.pending[region]
 		ms.pending[region] = ""
+		if ms.fallback[region] {
+			// The stitch is happening (or queued) on a background worker:
+			// run this call on the generic tier. The table base the inline
+			// set-up left in RScratch is exactly what the generic segment's
+			// preamble expects.
+			ms.fallback[region] = false
+			rt.fallbackRuns.Add(1)
+			return rt.generic(region), nil
+		}
 		return rt.stitchNow(m, ms, region, key, m.Regs[vm.RScratch])
 	}
 	m.OnReset = func(m *vm.Machine) {
@@ -356,6 +405,7 @@ func (rt *Runtime) Attach(m *vm.Machine) {
 		for i := range ms.cache {
 			ms.cache[i] = nil
 			ms.pending[i] = ""
+			ms.fallback[i] = false
 			ms.gen[i] = rt.gens[i].Load()
 		}
 		ms.fifo = nil
@@ -377,6 +427,28 @@ func (rt *Runtime) enterCold(m *vm.Machine, ms *machineState, region int,
 			// paper's overhead was paid once, program-wide.
 			ms.put(rt, region, ks, seg)
 			return seg, nil
+		}
+		if gseg := rt.asyncFallback(region, ks); gseg != nil {
+			// Async stitching: the stitch is queued (or in flight) on a
+			// background worker; this call runs on the generic tier and
+			// the next call after publish adopts the stitched segment via
+			// the shared-cache lookup above. The generic segment is never
+			// installed in the level-2 map — it must not shadow promotion.
+			if setup := rt.SetupFn[region]; setup != nil {
+				tbl, cost, err := setup(m)
+				if err != nil {
+					return nil, fmt.Errorf("merged set-up %s: %w", r.Name, err)
+				}
+				rc := m.Region(region)
+				rc.SetupCycles += cost
+				m.Cycles += cost
+				m.Regs[vm.RScratch] = tbl
+				rt.fallbackRuns.Add(1)
+				return gseg, nil
+			}
+			ms.pending[region] = ks
+			ms.fallback[region] = true
+			return nil, nil // run inline set-up; DYNSTITCH takes the generic tier
 		}
 	}
 	if setup := rt.SetupFn[region]; setup != nil {

@@ -1,0 +1,41 @@
+package testgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialFixedSeeds runs the differential property over a fixed
+// block of seeds so every CI run covers the same program corpus
+// deterministically; FuzzDifferential explores beyond it.
+func TestDifferentialFixedSeeds(t *testing.T) {
+	n := int64(150)
+	if testing.Short() {
+		n = 30
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		r := rand.New(rand.NewSource(seed * 7919))
+		c := int64(r.Intn(1024) - 512)
+		x := int64(r.Intn(4000) - 2000)
+		if err := Run(seed, c, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzDifferential is the native fuzz entry: the fuzzer mutates the
+// generator seed and the run-time parameters, and any engine divergence
+// (or compile failure on generated source) is a crash. Seed corpus lives
+// in testdata/fuzz/FuzzDifferential.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), int64(7), int64(42))
+	f.Add(int64(2), int64(-3), int64(1000))
+	f.Add(int64(17), int64(511), int64(-999))
+	f.Add(int64(99), int64(0), int64(0))
+	f.Add(int64(1234), int64(-512), int64(7))
+	f.Fuzz(func(t *testing.T, seed, c, x int64) {
+		if err := Run(seed, c, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

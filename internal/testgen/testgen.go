@@ -1,0 +1,296 @@
+// Package testgen generates random MiniC programs with dynamic regions and
+// differentially tests the full compilation pipeline — parser, SSA,
+// optimizer, region splitter, code generator, register allocator, stitcher,
+// runtime cache (inline and asynchronous), and VM — against a reference
+// that shares none of those stages: direct interpretation of the
+// *unoptimized* SSA IR. Any divergence is a bug in some layer of the
+// pipeline; the reference is deliberately the dumbest correct executor we
+// have.
+//
+// The generator is seeded and deterministic, so every failure is
+// reproducible from its (seed, c, x) triple; FuzzDifferential feeds the
+// same triple space from the native fuzzer.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dyncc/internal/core"
+	"dyncc/internal/ir"
+	"dyncc/internal/rtr"
+)
+
+// ops are the binary operators the generator composes. Division and modulo
+// are deliberately absent: they can trap, and trap parity between engines
+// is tested elsewhere — here every generated program must run to
+// completion so outputs are always comparable.
+var ops = []string{"+", "-", "*", "&", "|", "^"}
+
+var cmps = []string{"<", ">", "==", "!="}
+
+// gen carries generator state: the source being built and the variables in
+// scope at each point.
+type gen struct {
+	r     *rand.Rand
+	b     strings.Builder
+	vars  []string // expression-usable int variables in scope
+	loops int      // loop variables minted so far (v0, v1, ...)
+	depth int      // statement nesting depth
+}
+
+func (g *gen) pick(list []string) string { return list[g.r.Intn(len(list))] }
+
+// expr builds a random expression tree over the variables in scope.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprint(g.r.Intn(64) - 16)
+		default:
+			return g.pick(g.vars)
+		}
+	}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), g.pick(ops), g.expr(depth-1))
+}
+
+// cond builds a random comparison.
+func (g *gen) cond() string {
+	return fmt.Sprintf("%s %s %s", g.expr(1), g.pick(cmps), g.expr(1))
+}
+
+// constCond builds a comparison over region constants only (c and n), so a
+// keyed region's branch resolution can fold it at stitch time.
+func (g *gen) constCond() string {
+	lhs := []string{"c", "n", "(c & 7)", "(n + c)", "(c * 3)"}[g.r.Intn(5)]
+	return fmt.Sprintf("%s %s %d", lhs, g.pick(cmps), g.r.Intn(10))
+}
+
+func (g *gen) linef(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("    ", g.depth+2))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// stmt emits one random statement. idx lists loop variables usable as
+// array indices (always < n, so loads never trap).
+func (g *gen) stmt(idx []string, unrollOK bool) {
+	choice := g.r.Intn(10)
+	switch {
+	case choice < 3: // plain accumulation
+		g.linef("acc = acc %s %s;", g.pick(ops), g.expr(2))
+	case choice < 4 && len(idx) > 0: // bounded array load
+		i := g.pick(idx)
+		if g.r.Intn(2) == 0 {
+			g.linef("acc = acc + a[%s];", i)
+		} else {
+			g.linef("acc = acc ^ (a dynamic[%s] + %s);", i, g.expr(1))
+		}
+	case choice < 6 && g.depth < 2: // if / if-else
+		if g.r.Intn(2) == 0 {
+			g.linef("if (%s) {", g.constCond())
+		} else {
+			g.linef("if (%s) {", g.cond())
+		}
+		g.depth++
+		g.stmt(idx, false)
+		g.depth--
+		if g.r.Intn(2) == 0 {
+			g.linef("} else {")
+			g.depth++
+			g.stmt(idx, false)
+			g.depth--
+		}
+		g.linef("}")
+	case choice < 8 && unrollOK && g.depth < 2: // unrolled loop over the array
+		v := fmt.Sprintf("v%d", g.loops)
+		g.loops++
+		bound := "n"
+		if len(idx) > 0 && g.r.Intn(3) == 0 {
+			bound = idx[len(idx)-1] // nested: bounded by the outer index
+		}
+		g.linef("unrolled for (%s = 0; %s < %s; %s++) {", v, v, bound, v)
+		g.depth++
+		// Most unrolled loops touch the array — that is what the paper's
+		// loop unrolling + load promotion machinery specializes.
+		switch g.r.Intn(3) {
+		case 0:
+			g.linef("acc = acc + a[%s] * %s;", v, g.expr(1))
+		case 1:
+			g.linef("acc = acc ^ (a dynamic[%s] + %s);", v, g.expr(1))
+		}
+		g.stmt(append(idx, v), g.r.Intn(2) == 0)
+		g.depth--
+		g.linef("}")
+	case choice < 9 && g.depth < 2: // ordinary (rolled) loop, literal bound
+		v := fmt.Sprintf("v%d", g.loops)
+		g.loops++
+		k := 1 + g.r.Intn(4)
+		g.linef("for (%s = 0; %s < %d; %s++) {", v, v, k, v)
+		g.depth++
+		g.stmt(idx, false)
+		g.depth--
+		g.linef("}")
+	default:
+		g.linef("acc = (%s) %s acc;", g.expr(2), g.pick(ops))
+	}
+}
+
+// Gen returns random MiniC source for
+//
+//	int f(int *a, int n, int c, int x)
+//
+// containing one dynamic region (keyed or unkeyed, at random) over the
+// run-time constants a, n and c. Array loads are always bounded by n, so
+// for any heap of n elements the program runs trap-free on every engine.
+func Gen(r *rand.Rand) string {
+	g := &gen{r: r, vars: []string{"acc", "x", "c", "n"}}
+
+	header := "dynamicRegion (a, n, c)"
+	switch g.r.Intn(3) {
+	case 0:
+		header = "dynamicRegion key(c) (a, n)"
+	case 1:
+		header = "dynamicRegion key(c, n) (a)"
+	}
+
+	// Optional derived constant d, declared at region top.
+	hasD := g.r.Intn(2) == 0
+	if hasD {
+		g.vars = append(g.vars, "d")
+	}
+
+	nstmts := 2 + g.r.Intn(4)
+	for i := 0; i < nstmts; i++ {
+		g.stmt(nil, true)
+	}
+	body := g.b.String()
+
+	var decls strings.Builder
+	for i := 0; i < g.loops; i++ {
+		fmt.Fprintf(&decls, "        int v%d;\n", i)
+	}
+	dDecl := ""
+	if hasD {
+		dDecl = fmt.Sprintf("        int d = (c %s %d) %s n;\n",
+			g.pick(ops), g.r.Intn(30), g.pick(ops))
+	}
+
+	ret := "    return acc;"
+	inRegion := ""
+	if g.r.Intn(3) == 0 {
+		inRegion = "        return acc + x;\n"
+		ret = "    return acc - 1;"
+	}
+
+	return fmt.Sprintf(`
+int f(int *a, int n, int c, int x) {
+    int acc = 0;
+    %s {
+%s%s%s%s    }
+%s
+}`, header, decls.String(), dDecl, body, inRegion, ret)
+}
+
+// limit clamps v into [lo, hi] by wrapping — keeps fuzz-chosen parameters
+// in ranges where programs stay small and trap-free.
+func limit(v, lo, hi int64) int64 {
+	span := hi - lo + 1
+	m := v % span
+	if m < 0 {
+		m += span
+	}
+	return lo + m
+}
+
+// Run generates the program for seed and differentially executes it:
+// reference = unoptimized IR interpretation, subjects = the fully
+// optimized dynamic pipeline, inline and with asynchronous background
+// stitching. cIn and xIn parameterize the run-time constant and the
+// varying input. A non-nil error describes the first divergence, with the
+// generated source embedded for reproduction.
+func Run(seed, cIn, xIn int64) error {
+	r := rand.New(rand.NewSource(seed))
+	src := Gen(r)
+
+	n := int64(1 + r.Intn(6))
+	c := limit(cIn, -512, 512)
+	contents := make([]int64, n)
+	for i := range contents {
+		contents[i] = int64(r.Int31n(200)) - 100
+	}
+	xs := []int64{xIn, xIn + 17, -xIn, xIn ^ c, int64(r.Intn(100)) - 50}
+
+	// Reference: interpret the unoptimized SSA IR. No optimizer, splitter,
+	// regalloc, codegen, stitcher or VM involved.
+	ref, err := core.Compile(src, core.Config{Dynamic: false, Optimize: false})
+	if err != nil {
+		return fmt.Errorf("reference compile: %w\n%s", err, src)
+	}
+	env := ir.NewInterpEnv(ref.Module, 0)
+	ra := env.Alloc(n)
+	copy(env.Mem[ra:ra+n], contents)
+	want := make([]int64, len(xs))
+	for i, x := range xs {
+		v, err := env.CallFunc("f", ra, n, c, x)
+		if err != nil {
+			return fmt.Errorf("reference run (c=%d x=%d): %w\n%s", c, x, err, src)
+		}
+		want[i] = v
+	}
+
+	subjects := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"dynamic", core.Config{Dynamic: true, Optimize: true}},
+		{"dynamic+merged", core.Config{Dynamic: true, Optimize: true, MergedStitch: true}},
+		{"dynamic+async", core.Config{Dynamic: true, Optimize: true,
+			Cache: rtr.CacheOptions{AsyncStitch: true}}},
+	}
+	for _, sub := range subjects {
+		p, err := core.Compile(src, sub.cfg)
+		if err != nil {
+			return fmt.Errorf("%s compile: %w\n%s", sub.name, err, src)
+		}
+		m := p.NewMachine(0)
+		va, err := m.Alloc(n)
+		if err != nil {
+			return fmt.Errorf("%s alloc: %w", sub.name, err)
+		}
+		copy(m.Mem[va:va+n], contents)
+		for i, x := range xs {
+			got, err := m.Call("f", va, n, c, x)
+			if err != nil {
+				p.Runtime.Close()
+				return fmt.Errorf("%s run (c=%d x=%d): %w\n%s", sub.name, c, x, err, src)
+			}
+			if got != want[i] {
+				p.Runtime.Close()
+				return fmt.Errorf("%s diverges (seed=%d c=%d x=%d): got %d, reference %d\n%s",
+					sub.name, seed, c, x, got, want[i], src)
+			}
+		}
+		if sub.cfg.Cache.AsyncStitch {
+			// Quiesce the pool, then re-run everything against the
+			// promoted (stitched) code: the fallback tier and the stitched
+			// tier must agree with the reference.
+			p.Runtime.WaitIdle()
+			for i, x := range xs {
+				got, err := m.Call("f", va, n, c, x)
+				if err != nil {
+					p.Runtime.Close()
+					return fmt.Errorf("%s warm run (c=%d x=%d): %w\n%s", sub.name, c, x, err, src)
+				}
+				if got != want[i] {
+					p.Runtime.Close()
+					return fmt.Errorf("%s warm diverges (seed=%d c=%d x=%d): got %d, reference %d\n%s",
+						sub.name, seed, c, x, got, want[i], src)
+				}
+			}
+		}
+		p.Runtime.Close()
+	}
+	return nil
+}

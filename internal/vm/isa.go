@@ -28,6 +28,15 @@ const (
 	RScratch  Reg = 49 // stitcher scratch register
 	RScratch2 Reg = 63 // second stitcher scratch (strength-reduction chains)
 
+	// RTblBase is the generic-tier table base: an unspecialized (fallback)
+	// segment receives the run-time constants table address in RScratch at
+	// entry — exactly where DYNSTITCH leaves it — and immediately parks it
+	// in RTblBase for the rest of the region execution. It aliases RLCB,
+	// which is reserved for the stitcher and never live at run time (LDC
+	// indexes the segment's constant table directly), so generic code can
+	// never collide with template or stitched code.
+	RTblBase = RLCB
+
 	// RPromo0..RPromoLast are reserved for stitcher register actions
 	// (run-time promotion of array elements to registers, paper section 5).
 	RPromo0    Reg = 50
