@@ -1,20 +1,30 @@
 GO ?= go
 
-.PHONY: all check race fuzz bench bench-host bench-cache bench-async table2 clean
+.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile table2 clean
 
 all: check
 
-# Tier 1: everything builds, vet is clean, the full suite passes, the
-# cache/eviction/async-stitch machinery passes its package tests under the
-# race detector (fast enough for every check run; `race` still covers the
-# whole tree), and the differential fuzzer gets a short smoke run over the
-# seed corpus plus fresh inputs.
+# Tier 1: everything builds, gofmt and vet are clean, the full suite
+# passes, the cache/eviction/async-stitch machinery passes its package
+# tests under the race detector (fast enough for every check run; `race`
+# still covers the whole tree), the differential fuzzer gets a short smoke
+# run over the seed corpus plus fresh inputs, and the suite runs once more
+# with ir.Verify forced between all compiler passes (check-passes).
 check:
 	$(GO) build ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: these files need formatting:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rtr
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/testgen
+	$(MAKE) check-passes
+
+# Pipeline hardening: the whole suite with ir.Verify interposed after
+# every pass (not just the module-mutating ones), so a pass that corrupts
+# the IR is caught at the pass boundary, not three stages later.
+check-passes:
+	DYNCC_VERIFY_ALL=1 $(GO) test ./...
 
 # Tier 2: static analysis plus the race-enabled suite (exercises the
 # concurrent stitch cache under the race detector).
@@ -48,6 +58,11 @@ fuzz:
 # BENCH_4.json (the tiered-execution result).
 bench-async:
 	$(GO) run ./cmd/dynbench -asyncstitch -json BENCH_4.json
+
+# Static compile latency per pipeline pass over the example corpus,
+# written to BENCH_5.json.
+bench-compile:
+	$(GO) run ./cmd/dynbench -compiletime -json BENCH_5.json
 
 # Regenerate the paper's tables on stdout.
 table2:

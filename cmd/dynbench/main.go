@@ -44,6 +44,8 @@ type jsonReport struct {
 	HostComparison []*bench.HostComparison `json:"host_comparison,omitempty"`
 	// CacheChurn is present only when -cachechurn is given.
 	CacheChurn *bench.ChurnResult `json:"cache_churn,omitempty"`
+	// CompileTime is present only when -compiletime is given.
+	CompileTime *bench.CompileTimeResult `json:"compile_time,omitempty"`
 	// ColdBurst is present only when -asyncstitch is given.
 	ColdBurst *bench.ColdBurstResult `json:"cold_burst,omitempty"`
 	// GOMAXPROCS records how many OS threads the parallel sweep could
@@ -74,6 +76,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "run the parallel-machines sweep up to N machines")
 	cachechurn := flag.Bool("cachechurn", false, "run the bounded-cache churn benchmark (Zipf keys over a keyed region)")
 	asyncstitch := flag.Bool("asyncstitch", false, "run the cold-burst latency comparison (inline vs background stitching)")
+	compiletime := flag.Bool("compiletime", false, "measure per-pass static compile latency over the example corpus")
+	ctIters := flag.Int("ctiters", 0, "compiles per program for -compiletime (0 = default 30)")
 	churnCap := flag.Int("churncap", 0, "cache cap (MaxEntries) for -cachechurn (0 = default 256)")
 	churnKeys := flag.Int("churnkeys", 0, "distinct keys for -cachechurn (0 = default 4096)")
 	jsonPath := flag.String("json", "", "also write measurements to this file as JSON")
@@ -138,6 +142,17 @@ func main() {
 		fmt.Println()
 	}
 
+	var ct *bench.CompileTimeResult
+	if *compiletime {
+		ct, err = bench.CompileTime(*ctIters)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Compile time: per-pass static compile latency (example corpus)")
+		bench.PrintCompileTime(os.Stdout, ct)
+		fmt.Println()
+	}
+
 	var cold *bench.ColdBurstResult
 	if *asyncstitch {
 		cold, err = bench.ColdBurst(0, 0)
@@ -163,7 +178,7 @@ func main() {
 
 	if *jsonPath != "" {
 		rep := jsonReport{Parallel: sweep, CacheChurn: churn, ColdBurst: cold,
-			GOMAXPROCS: runtime.GOMAXPROCS(0)}
+			CompileTime: ct, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 		for _, m := range rows {
 			rep.Table2 = append(rep.Table2, jsonRow{
 				Name: m.Name, Config: m.Config, Speedup: m.Speedup,

@@ -9,10 +9,25 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"dyncc/internal/core"
 	"dyncc/internal/ir"
 )
+
+// passList collects -disable-pass values (repeatable, comma-separated).
+type passList []string
+
+func (l *passList) String() string { return strings.Join(*l, ",") }
+
+func (l *passList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*l = append(*l, s)
+		}
+	}
+	return nil
+}
 
 // sortedConsts returns the constant values in ascending order.
 func sortedConsts(m map[ir.Value]bool) []ir.Value {
@@ -34,6 +49,10 @@ func main() {
 	dumpTmpl := flag.Bool("templates", true, "dump each region's templates and directives")
 	dumpAnalysis := flag.Bool("analysis", false, "dump run-time-constant and reachability results per region")
 	fn := flag.String("func", "", "restrict dumps to one function")
+	dumpir := flag.String("dumpir", "", "dump IR after the named pipeline pass ('all' = every module-mutating pass)")
+	var disable passList
+	flag.Var(&disable, "disable-pass", "disable a pipeline pass by name (repeatable, comma-separated; e.g. dce,cse)")
+	passTimes := flag.Bool("passtimes", false, "report per-pass compile timings")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -46,10 +65,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dyncc:", err)
 		os.Exit(1)
 	}
-	c, err := core.Compile(string(src), core.Config{Dynamic: *dynamic, Optimize: *optimize})
+	cfg := core.Config{Dynamic: *dynamic, Optimize: *optimize, DisablePasses: disable}
+	if *dumpir != "" {
+		cfg.DumpIR = func(pass, f, text string) {
+			if *dumpir != "all" && *dumpir != pass {
+				return
+			}
+			if *fn != "" && f != *fn {
+				return
+			}
+			fmt.Printf("=== ir after %s: %s\n%s\n", pass, f, text)
+		}
+	}
+	c, err := core.Compile(string(src), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dyncc:", err)
 		os.Exit(1)
+	}
+	if *passTimes {
+		fmt.Println("=== pass timings")
+		for _, st := range c.Stats {
+			fmt.Printf("  %-12s %10v  runs %d  changes %d\n",
+				st.Pass, st.Duration, st.Runs, st.Changes)
+		}
 	}
 
 	want := func(f *ir.Func) bool { return *fn == "" || f.Name == *fn }

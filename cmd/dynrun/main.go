@@ -9,9 +9,24 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"dyncc/internal/core"
 )
+
+// passList collects -disable-pass values (repeatable, comma-separated).
+type passList []string
+
+func (l *passList) String() string { return strings.Join(*l, ",") }
+
+func (l *passList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*l = append(*l, s)
+		}
+	}
+	return nil
+}
 
 func main() {
 	dynamic := flag.Bool("dynamic", true, "compile dynamic regions")
@@ -19,6 +34,9 @@ func main() {
 	fn := flag.String("func", "main", "function to call")
 	mem := flag.Int("mem", 0, "VM memory in words (0 = default)")
 	trace := flag.String("trace", "", "write a per-instruction execution trace to this file (- for stderr)")
+	dumpir := flag.String("dumpir", "", "dump IR after the named pipeline pass ('all' = every module-mutating pass) to stderr")
+	var disable passList
+	flag.Var(&disable, "disable-pass", "disable a pipeline pass by name (repeatable, comma-separated; e.g. dce,cse)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -40,7 +58,16 @@ func main() {
 		args = append(args, v)
 	}
 
-	c, err := core.Compile(string(src), core.Config{Dynamic: *dynamic, Optimize: *optimize})
+	cfg := core.Config{Dynamic: *dynamic, Optimize: *optimize, DisablePasses: disable}
+	if *dumpir != "" {
+		cfg.DumpIR = func(pass, f, text string) {
+			if *dumpir != "all" && *dumpir != pass {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "=== ir after %s: %s\n%s\n", pass, f, text)
+		}
+	}
+	c, err := core.Compile(string(src), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dynrun:", err)
 		os.Exit(1)

@@ -27,6 +27,7 @@ package dyncc
 
 import (
 	"io"
+	"time"
 
 	"dyncc/internal/core"
 	"dyncc/internal/ir"
@@ -61,6 +62,17 @@ type Config struct {
 	MergedStitch bool
 	// Cache tunes the runtime's two-level stitch cache.
 	Cache CacheOptions
+	// DisablePasses names compiler pipeline passes to skip, for ablation
+	// and debugging: any optimizer sub-pass ("const-fold", "simplify",
+	// "branch-fold", "copy-prop", "cse", "dce") or the whole "optimize"
+	// group. Structural passes cannot be disabled; unknown names are a
+	// compile error.
+	DisablePasses []string
+	// DumpIR, when non-nil, receives a textual IR snapshot of every
+	// function after each module-mutating compiler pass (optimizer
+	// sub-passes dump only on fixpoint rounds where they changed
+	// something).
+	DumpIR func(pass, fn, text string)
 }
 
 // CacheOptions tune the runtime stitch cache (see DESIGN.md, "Runtime
@@ -120,9 +132,11 @@ type Program struct {
 // Compile compiles MiniC source with the given configuration.
 func Compile(src string, cfg Config) (*Program, error) {
 	c, err := core.Compile(src, core.Config{
-		Dynamic:      cfg.Dynamic,
-		Optimize:     cfg.Optimize,
-		MergedStitch: cfg.MergedStitch,
+		Dynamic:       cfg.Dynamic,
+		Optimize:      cfg.Optimize,
+		MergedStitch:  cfg.MergedStitch,
+		DisablePasses: cfg.DisablePasses,
+		DumpIR:        cfg.DumpIR,
 		Stitcher: stitcher.Options{
 			NoStrengthReduction: cfg.NoStrengthReduction,
 			NoFuse:              cfg.NoFuse,
@@ -254,6 +268,36 @@ func (p *Program) StitchStats(r int) StitchStats {
 		LoadsPromoted:      s.LoadsPromoted,
 		StoresPromoted:     s.StoresPromoted,
 	}
+}
+
+// PassStat is one row of the static compiler's pipeline report: how long
+// a pass ran (wall clock, summed over executions), how many times it ran
+// (optimizer sub-passes run once per fixpoint round), and how many IR
+// changes it made. The synthetic "verify" row accumulates the ir.Verify
+// runs the pipeline interposes after every module-mutating pass.
+type PassStat struct {
+	Name     string
+	Duration time.Duration
+	Runs     int
+	Changes  int
+}
+
+// CompileStats reports the compiler pipeline's per-pass timings and
+// change counts in execution order: parse, lower, ssa, the optimizer
+// sub-passes (const-fold, simplify, branch-fold, copy-prop, cse, dce),
+// the optimize group total, split, codegen, and verify. Disabled passes
+// are absent.
+func (p *Program) CompileStats() []PassStat {
+	stats := make([]PassStat, len(p.c.Stats))
+	for i, st := range p.c.Stats {
+		stats[i] = PassStat{
+			Name:     st.Pass,
+			Duration: st.Duration,
+			Runs:     st.Runs,
+			Changes:  st.Changes,
+		}
+	}
+	return stats
 }
 
 // RuntimeCacheStats summarizes the stitch-cache lifecycle across every

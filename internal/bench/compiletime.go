@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dyncc/internal/core"
+)
+
+// CompileTime measures static compile latency per pipeline pass over the
+// example corpus (the Table 2 kernel sources), using the pass manager's
+// built-in wall-clock timings. It answers "where does compile time go?" —
+// the observability the old monolithic core.Compile could not provide —
+// and gives pass-level regressions a checked-in baseline (BENCH_5.json).
+
+// PassMicros is the mean wall-clock cost of one pass, in microseconds per
+// compile.
+type PassMicros struct {
+	Pass   string  `json:"pass"`
+	Micros float64 `json:"micros"`
+}
+
+// CompileTimeRow is the per-pass compile-time profile of one corpus
+// program.
+type CompileTimeRow struct {
+	Name        string       `json:"name"`
+	Passes      []PassMicros `json:"passes"`
+	TotalMicros float64      `json:"total_micros"`
+}
+
+// CompileTimeResult is the full compile-latency report.
+type CompileTimeResult struct {
+	Iters      int               `json:"iters"`
+	Benchmarks []*CompileTimeRow `json:"benchmarks"`
+}
+
+// compileCorpus is the example corpus: every Table 2 kernel.
+func compileCorpus() []struct{ name, src string } {
+	return []struct{ name, src string }{
+		{"interpreter (cachesim)", CacheSimSource},
+		{"calculator", CalcSource},
+		{"event dispatcher", DispatchSource},
+		{"record sorter", SorterSource},
+		{"matrix scalar multiply", ScalarSource},
+		{"sparse vector product", SparseSource},
+	}
+}
+
+// CompileTime compiles each corpus program iters times (0 = default 30)
+// with the default dynamic configuration and reports mean per-pass
+// microseconds. The first compile of each program is discarded as warm-up
+// so one-time process costs don't skew the means.
+func CompileTime(iters int) (*CompileTimeResult, error) {
+	if iters <= 0 {
+		iters = 30
+	}
+	res := &CompileTimeResult{Iters: iters}
+	for _, c := range compileCorpus() {
+		sum := map[string]float64{}
+		var order []string
+		for i := 0; i < iters+1; i++ {
+			compiled, err := core.Compile(c.src, core.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.name, err)
+			}
+			if i == 0 {
+				continue // warm-up
+			}
+			for _, st := range compiled.Stats {
+				if _, seen := sum[st.Pass]; !seen {
+					order = append(order, st.Pass)
+				}
+				sum[st.Pass] += float64(st.Duration.Nanoseconds()) / 1e3
+			}
+		}
+		row := &CompileTimeRow{Name: c.name}
+		for _, pass := range order {
+			m := sum[pass] / float64(iters)
+			row.Passes = append(row.Passes, PassMicros{Pass: pass, Micros: m})
+			// The "optimize" group row overlaps its sub-passes; count
+			// only top-level rows toward the total.
+			switch pass {
+			case "const-fold", "simplify", "branch-fold", "copy-prop", "cse", "dce", "verify":
+			default:
+				row.TotalMicros += m
+			}
+		}
+		res.Benchmarks = append(res.Benchmarks, row)
+	}
+	return res, nil
+}
+
+// PrintCompileTime renders the report as a table.
+func PrintCompileTime(w io.Writer, res *CompileTimeResult) {
+	for _, row := range res.Benchmarks {
+		fmt.Fprintf(w, "%-26s total %8.1f µs/compile (mean of %d)\n",
+			row.Name, row.TotalMicros, res.Iters)
+		for _, p := range row.Passes {
+			fmt.Fprintf(w, "    %-12s %8.1f µs\n", p.Pass, p.Micros)
+		}
+	}
+}

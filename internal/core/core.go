@@ -7,12 +7,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"dyncc/internal/codegen"
 	"dyncc/internal/ir"
-	"dyncc/internal/lower"
 	"dyncc/internal/opt"
-	"dyncc/internal/parser"
+	"dyncc/internal/pipeline"
 	"dyncc/internal/regalloc"
 	"dyncc/internal/rtr"
 	"dyncc/internal/split"
@@ -39,6 +39,20 @@ type Config struct {
 	// cost ("merging these components into a single pass should
 	// drastically reduce our dynamic compilation costs").
 	MergedStitch bool
+	// DisablePasses names pipeline passes to skip, for ablation and
+	// debugging (e.g. "dce", "cse", or the whole "optimize" group).
+	// Structural passes (parse, lower, ssa, split, codegen) cannot be
+	// disabled, and unknown names are a compile error.
+	DisablePasses []string
+	// DumpIR, when non-nil, receives a textual IR snapshot of every
+	// function after each module-mutating pass (optimizer sub-passes dump
+	// only on fixpoint rounds where they changed something).
+	DumpIR func(pass, fn, text string)
+	// VerifyAll forces ir.Verify after every pass, not only the
+	// module-mutating ones. Also enabled process-wide by setting the
+	// DYNCC_VERIFY_ALL environment variable (`make check-passes` runs the
+	// whole suite that way).
+	VerifyAll bool
 }
 
 // DefaultConfig compiles dynamically with full optimization.
@@ -53,75 +67,77 @@ type Compiled struct {
 	Output  *codegen.Output
 	Splits  map[*ir.Region]*split.Result
 	Runtime *rtr.Runtime
-	Opt     map[string]opt.Stats
+	// Stats are the pipeline's per-pass wall-clock timings and change
+	// counts, in execution order (optimizer sub-passes have their own
+	// rows; "verify" accumulates the interposed verification runs).
+	Stats []pipeline.PassStat
+
+	regions []pipeline.RegionInfo
 }
 
-// Compile compiles MiniC source text.
-func Compile(src string, cfg Config) (*Compiled, error) {
-	file, err := parser.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	mod, err := lower.Lower(file)
-	if err != nil {
-		return nil, err
-	}
+// verifyAllEnv reports whether ir.Verify is forced between all passes
+// process-wide; `make check-passes` runs the whole test suite with it
+// set. Read per compile, not at package init: `go test` only records
+// environment reads made during the test run, so an init-time read would
+// let cached test results mask a check-passes run.
+func verifyAllEnv() bool { return os.Getenv("DYNCC_VERIFY_ALL") != "" }
 
-	optStats := map[string]opt.Stats{}
-	for _, f := range mod.Funcs {
-		ir.BuildSSA(f)
-		if err := ir.Verify(f); err != nil {
-			return nil, fmt.Errorf("internal: post-SSA verify: %w", err)
-		}
-		if cfg.Optimize {
-			optStats[f.Name] = opt.Optimize(f)
-			if err := ir.Verify(f); err != nil {
-				return nil, fmt.Errorf("internal: post-opt verify: %w", err)
-			}
-		}
+// newPipeline registers the static compiler's passes for cfg. The
+// optimizer's sub-passes form a fixpoint group — iterated in order until a
+// round changes nothing, each independently disableable.
+func newPipeline(cfg Config) *pipeline.Manager {
+	mgr := pipeline.New()
+	mgr.Register(passParse{})
+	mgr.Register(passLower{})
+	mgr.Register(passSSA{})
+	if cfg.Optimize {
+		mgr.RegisterFixpoint("optimize", opt.MaxRounds, optPasses()...)
 	}
-
-	splits := map[*ir.Region]*split.Result{}
-	if cfg.Dynamic {
-		for _, f := range mod.Funcs {
-			for _, r := range f.Regions {
-				sr, err := split.Split(f, r)
-				if err != nil {
-					return nil, err
-				}
-				splits[r] = sr
-			}
-		}
-	}
-
+	mgr.Register(passSplit{})
 	// Static-code fusion rides the optimizer switch; the stitcher's NoFuse
 	// ablation turns it off everywhere at once so fused-vs-unfused
 	// differential runs compare whole configurations.
-	out, err := codegen.Compile(mod, splits, codegen.Options{
-		NoFuse: cfg.Stitcher.NoFuse || !cfg.Optimize,
-	})
-	if err != nil {
+	mgr.Register(passCodegen{noFuse: cfg.Stitcher.NoFuse || !cfg.Optimize})
+	return mgr
+}
+
+// Compile compiles MiniC source text by running the pass pipeline:
+// parse → lower → ssa → optimize (fixpoint of const-fold, simplify,
+// branch-fold, copy-prop, cse, dce) → split → codegen, with ir.Verify
+// interposed after every module-mutating pass.
+func Compile(src string, cfg Config) (*Compiled, error) {
+	mgr := newPipeline(cfg)
+	if err := mgr.Disable(cfg.DisablePasses); err != nil {
 		return nil, err
 	}
+	ctx := &pipeline.Context{
+		Src:       src,
+		Dynamic:   cfg.Dynamic,
+		VerifyAll: cfg.VerifyAll || verifyAllEnv(),
+		DumpIR:    cfg.DumpIR,
+	}
+	if err := mgr.Run(ctx); err != nil {
+		return nil, err
+	}
+	mod, out := ctx.Module, ctx.Output
+
 	c := &Compiled{
-		Config: cfg,
-		Module: mod,
-		Output: out,
-		Splits: splits,
-		Opt:    optStats,
+		Config:  cfg,
+		Module:  mod,
+		Output:  out,
+		Splits:  ctx.Splits,
+		Stats:   mgr.Stats(),
+		regions: ctx.Regions,
 	}
 	c.Runtime = rtr.New(out.Prog, out.Regions, rtr.Options{
 		Stitcher: cfg.Stitcher,
 		Cache:    cfg.Cache,
 	})
 	if cfg.Dynamic && cfg.MergedStitch {
-		idx := 0
-		for _, f := range mod.Funcs {
-			for _, r := range f.Regions {
-				if sr := splits[r]; sr != nil {
-					c.Runtime.SetupFn[idx] = makeSetupFn(mod, f, sr, out.FuncAlloc[f.Name])
-				}
-				idx++
+		for _, ri := range ctx.Regions {
+			if ri.Split != nil {
+				c.Runtime.SetupFn[ri.Index] =
+					makeSetupFn(mod, ri.Fn, ri.Split, out.FuncAlloc[ri.Fn.Name])
 			}
 		}
 	}
@@ -132,20 +148,27 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 		// and machine-independent constants. Install a key-driven set-up
 		// evaluator for every keyed shareable region; regions without one
 		// keep stitching inline.
-		idx := 0
-		for _, f := range mod.Funcs {
-			for _, r := range f.Regions {
-				if sr := splits[r]; sr != nil && idx < len(out.Regions) &&
-					out.Regions[idx].Shareable && len(r.Keys) > 0 {
-					if fn := makeKeySetupFn(mod, f, r, sr); fn != nil {
-						c.Runtime.KeySetup[idx] = fn
-					}
+		for _, ri := range ctx.Regions {
+			if ri.Split != nil && ri.Index < len(out.Regions) &&
+				out.Regions[ri.Index].Shareable && len(ri.Region.Keys) > 0 {
+				if fn := makeKeySetupFn(mod, ri.Fn, ri.Region, ri.Split); fn != nil {
+					c.Runtime.KeySetup[ri.Index] = fn
 				}
-				idx++
 			}
 		}
 	}
 	return c, nil
+}
+
+// PassStat returns the stat row for the named pass (zero if the pass did
+// not run).
+func (c *Compiled) PassStat(name string) pipeline.PassStat {
+	for _, st := range c.Stats {
+		if st.Pass == name {
+			return st
+		}
+	}
+	return pipeline.PassStat{}
 }
 
 // mergedSetupCostPerStep is the modeled cycle cost of one set-up operation
@@ -374,11 +397,16 @@ func (c *Compiled) NewMachines(n int) []*vm.Machine {
 	return ms
 }
 
-// Regions returns all IR regions in module order (matching global indices).
+// Regions returns all IR regions in module order (matching global
+// indices), from the walk the split pass computed once.
 func (c *Compiled) Regions() []*ir.Region {
-	var rs []*ir.Region
-	for _, f := range c.Module.Funcs {
-		rs = append(rs, f.Regions...)
+	rs := make([]*ir.Region, len(c.regions))
+	for i, ri := range c.regions {
+		rs[i] = ri.Region
 	}
 	return rs
 }
+
+// RegionInfos exposes the pipeline's single region walk: every region
+// with its function, global index and split result.
+func (c *Compiled) RegionInfos() []pipeline.RegionInfo { return c.regions }

@@ -109,7 +109,44 @@ func TestOptStatsRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Opt["f"].Folded == 0 {
+	if c.PassStat("const-fold").Changes == 0 {
 		t.Error("constant folding not recorded")
+	}
+	for _, st := range c.Stats {
+		if st.Duration <= 0 {
+			t.Errorf("pass %s: zero duration", st.Pass)
+		}
+		if st.Runs == 0 {
+			t.Errorf("pass %s: zero runs", st.Pass)
+		}
+	}
+	if c.PassStat("verify").Runs == 0 {
+		t.Error("no interposed verification recorded")
+	}
+}
+
+func TestDisablePasses(t *testing.T) {
+	src := `int f() { return 2 * 3 + 4; }`
+	cfg := core.DefaultConfig()
+	cfg.DisablePasses = []string{"const-fold", "simplify"}
+	c, err := core.Compile(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PassStat("const-fold"); got.Runs != 0 {
+		t.Errorf("disabled pass ran %d times", got.Runs)
+	}
+	m := c.NewMachine(0)
+	if v, _ := m.Call("f"); v != 10 {
+		t.Errorf("f() = %d with const-fold disabled", v)
+	}
+
+	cfg.DisablePasses = []string{"no-such-pass"}
+	if _, err := core.Compile(src, cfg); err == nil {
+		t.Error("unknown pass name accepted")
+	}
+	cfg.DisablePasses = []string{"codegen"}
+	if _, err := core.Compile(src, cfg); err == nil {
+		t.Error("structural pass disable accepted")
 	}
 }

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dyncc/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPerPassIRDumpGolden locks down the pipeline's observability contract
+// on one representative program (dot product: dynamic region, derived
+// run-time constants, an unrolled loop): the sequence of per-pass IR
+// snapshots — lower → ssa → each optimizer sub-pass that changed
+// something → post-split — must stay byte-identical. A diff here means a
+// pass changed behaviour, ran in a different order, or stopped/started
+// mutating the IR.
+func TestPerPassIRDumpGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "dotproduct.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	cfg := core.DefaultConfig()
+	cfg.DumpIR = func(pass, fn, text string) {
+		// One function keeps the golden readable; "dot" holds the region.
+		if fn != "dot" {
+			return
+		}
+		fmt.Fprintf(&b, "=== ir after %s: %s\n%s\n", pass, fn, text)
+	}
+	if _, err := core.Compile(string(src), cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	// The dump must cover the whole mutating pipeline in order.
+	wantOrder := []string{"after lower", "after ssa", "after split"}
+	pos := 0
+	for _, w := range wantOrder {
+		i := strings.Index(got[pos:], w)
+		if i < 0 {
+			t.Fatalf("dump missing or out of order: %q", w)
+		}
+		pos += i
+	}
+
+	golden := filepath.Join("testdata", "dotproduct_passes.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("per-pass IR dump differs from %s (run with -update to regenerate)\n--- got ---\n%s",
+			golden, got)
+	}
+}

@@ -24,23 +24,60 @@ type Stats struct {
 	DeadRemoved    int // dead instructions removed
 }
 
-// Optimize runs the full pass pipeline to a fixpoint (bounded).
+// SubPass is one named optimizer sub-pass; Run returns the number of IR
+// changes it made. Sub-passes are registered individually in the compiler
+// pipeline so each can be timed, dumped, and disabled for ablation.
+type SubPass struct {
+	Name string
+	Run  func(*ir.Func) int
+}
+
+// MaxRounds bounds the optimizer fixpoint iteration.
+const MaxRounds = 8
+
+// SubPasses returns the optimizer's sub-passes in canonical order: the
+// fixpoint driver (pipeline or Optimize) iterates them in this order
+// until a full round changes nothing.
+func SubPasses() []SubPass {
+	return []SubPass{
+		{"const-fold", ConstFold},
+		{"simplify", Simplify},
+		{"branch-fold", FoldBranches},
+		{"copy-prop", CopyProp},
+		{"cse", CSE},
+		{"dce", DCE},
+	}
+}
+
+// addTo maps a sub-pass's change count onto the Stats field it reports as.
+func (s *Stats) addTo(pass string, n int) {
+	switch pass {
+	case "const-fold", "simplify":
+		s.Folded += n
+	case "branch-fold":
+		s.BranchesFolded += n
+	case "copy-prop":
+		s.CopiesForwards += n
+	case "cse":
+		s.CSEHits += n
+	case "dce":
+		s.DeadRemoved += n
+	}
+}
+
+// Optimize runs the full sub-pass pipeline to a fixpoint (bounded). The
+// compiler registers the sub-passes individually (internal/pipeline);
+// Optimize is the standalone driver for direct users and tests.
 func Optimize(f *ir.Func) Stats {
 	var total Stats
-	for i := 0; i < 8; i++ {
-		var s Stats
-		s.Folded += ConstFold(f)
-		s.Folded += Simplify(f)
-		s.BranchesFolded += FoldBranches(f)
-		s.CopiesForwards += CopyProp(f)
-		s.CSEHits += CSE(f)
-		s.DeadRemoved += DCE(f)
-		total.Folded += s.Folded
-		total.BranchesFolded += s.BranchesFolded
-		total.CopiesForwards += s.CopiesForwards
-		total.CSEHits += s.CSEHits
-		total.DeadRemoved += s.DeadRemoved
-		if s == (Stats{}) {
+	for i := 0; i < MaxRounds; i++ {
+		changed := 0
+		for _, sp := range SubPasses() {
+			n := sp.Run(f)
+			changed += n
+			total.addTo(sp.Name, n)
+		}
+		if changed == 0 {
 			break
 		}
 	}

@@ -1,0 +1,224 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dyncc/internal/ir"
+	"dyncc/internal/types"
+)
+
+// fake is a scriptable pass.
+type fake struct {
+	name    string
+	mutates bool
+	run     func(*Context) error
+}
+
+func (f fake) Name() string    { return f.name }
+func (f fake) MutatesIR() bool { return f.mutates }
+func (f fake) Run(ctx *Context) error {
+	if f.run != nil {
+		return f.run(ctx)
+	}
+	return nil
+}
+
+// tinyModule builds a verifiable one-function module.
+func tinyModule() *ir.Module {
+	mod := ir.NewModule()
+	f := ir.NewFunc("t", types.FuncType(types.IntType, nil))
+	b := f.NewBlock()
+	v := f.NewValue("v", types.IntType)
+	b.Append(&ir.Instr{Op: ir.OpConst, Const: 1, Dst: v, Typ: types.IntType})
+	b.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Value{v}})
+	f.ComputePreds()
+	mod.Funcs = append(mod.Funcs, f)
+	mod.FuncIndex = map[string]*ir.Func{"t": f}
+	return mod
+}
+
+func TestRunOrderAndStats(t *testing.T) {
+	m := New()
+	var order []string
+	mk := func(name string) Pass {
+		return fake{name: name, run: func(ctx *Context) error {
+			order = append(order, name)
+			return nil
+		}}
+	}
+	m.Register(mk("a"))
+	m.RegisterOptional(mk("b"))
+	m.Register(mk("c"))
+	if err := m.Run(&Context{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "a,b,c" {
+		t.Errorf("order: %v", order)
+	}
+	for _, st := range m.Stats() {
+		if st.Runs != 1 || st.Duration <= 0 {
+			t.Errorf("stat %+v", st)
+		}
+	}
+}
+
+func TestDisableValidation(t *testing.T) {
+	m := New()
+	m.Register(fake{name: "structural"})
+	m.RegisterOptional(fake{name: "optional"})
+	if err := m.Disable([]string{"nope"}); err == nil {
+		t.Error("unknown pass accepted")
+	}
+	if err := m.Disable([]string{"structural"}); err == nil {
+		t.Error("structural pass disable accepted")
+	}
+	if err := m.Disable([]string{"optional"}); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	m2 := New()
+	m2.RegisterOptional(fake{name: "optional", run: func(*Context) error {
+		ran = true
+		return nil
+	}})
+	if err := m2.Disable([]string{"optional"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(&Context{}); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("disabled pass ran")
+	}
+}
+
+func TestFixpointIterates(t *testing.T) {
+	m := New()
+	left := 3 // the pass "finds work" three rounds in a row
+	sub := fake{name: "shrink", mutates: true, run: func(ctx *Context) error {
+		if left > 0 {
+			left--
+			ctx.NoteChanges(1)
+		}
+		return nil
+	}}
+	m.RegisterFixpoint("group", 10, sub)
+	if err := m.Run(&Context{}); err != nil {
+		t.Fatal(err)
+	}
+	var group, shrink PassStat
+	for _, st := range m.Stats() {
+		switch st.Pass {
+		case "group":
+			group = st
+		case "shrink":
+			shrink = st
+		}
+	}
+	// Three changing rounds plus the terminating quiet one.
+	if shrink.Runs != 4 {
+		t.Errorf("sub-pass runs: %d", shrink.Runs)
+	}
+	if shrink.Changes != 3 || group.Changes != 3 {
+		t.Errorf("changes: sub %d group %d", shrink.Changes, group.Changes)
+	}
+	if group.Runs != 1 {
+		t.Errorf("group runs: %d", group.Runs)
+	}
+}
+
+func TestFixpointRespectsMaxRounds(t *testing.T) {
+	m := New()
+	runs := 0
+	m.RegisterFixpoint("group", 5, fake{name: "always", run: func(ctx *Context) error {
+		runs++
+		ctx.NoteChanges(1) // never converges
+		return nil
+	}})
+	if err := m.Run(&Context{}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 5 {
+		t.Errorf("runs: %d", runs)
+	}
+}
+
+func TestVerifyInterposedAfterMutatingPass(t *testing.T) {
+	mod := tinyModule()
+	corrupt := fake{name: "corrupt", mutates: true, run: func(ctx *Context) error {
+		// Drop the terminator: ir.Verify must reject this immediately.
+		b := ctx.Module.Funcs[0].Blocks[0]
+		b.Instrs = b.Instrs[:1]
+		return nil
+	}}
+	m := New()
+	m.Register(corrupt)
+	err := m.Run(&Context{Module: mod})
+	if err == nil || !strings.Contains(err.Error(), "verify after corrupt") {
+		t.Errorf("expected verify error, got %v", err)
+	}
+}
+
+func TestVerifyAllCoversNonMutatingPasses(t *testing.T) {
+	mod := tinyModule()
+	b := mod.Funcs[0].Blocks[0]
+	b.Instrs = b.Instrs[:1] // pre-corrupted: only VerifyAll can notice
+	sneaky := fake{name: "sneaky", mutates: false}
+	m := New()
+	m.Register(sneaky)
+	if err := m.Run(&Context{Module: mod}); err != nil {
+		t.Fatalf("non-mutating pass verified without VerifyAll: %v", err)
+	}
+	m2 := New()
+	m2.Register(sneaky)
+	if err := m2.Run(&Context{Module: mod, VerifyAll: true}); err == nil {
+		t.Error("VerifyAll missed corrupted module")
+	}
+}
+
+func TestPassErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	m := New()
+	m.Register(fake{name: "fails", run: func(*Context) error { return boom }})
+	ran := false
+	m.Register(fake{name: "after", run: func(*Context) error {
+		ran = true
+		return nil
+	}})
+	if err := m.Run(&Context{}); !errors.Is(err, boom) {
+		t.Errorf("error: %v", err)
+	}
+	if ran {
+		t.Error("pipeline continued past a failed pass")
+	}
+}
+
+func TestDumpIROnlyOnChange(t *testing.T) {
+	mod := tinyModule()
+	var dumps []string
+	ctx := &Context{Module: mod, DumpIR: func(pass, fn, text string) {
+		dumps = append(dumps, pass+":"+fn)
+	}}
+	left := 1
+	m := New()
+	m.RegisterFixpoint("group", 10, fake{name: "once", mutates: true,
+		run: func(c *Context) error {
+			if left > 0 {
+				left--
+				c.NoteChanges(1)
+			}
+			return nil
+		}})
+	m.Register(fake{name: "structural", mutates: true})
+	if err := m.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One dump from the changing round of "once" (not the quiet round),
+	// one from the structural mutating pass regardless of changes.
+	want := []string{"once:t", "structural:t"}
+	if strings.Join(dumps, ",") != strings.Join(want, ",") {
+		t.Errorf("dumps: %v, want %v", dumps, want)
+	}
+}

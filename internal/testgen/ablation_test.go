@@ -1,0 +1,26 @@
+package testgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAblationFixedSeeds is the pipeline's pass-ablation property: over
+// the same fixed seed corpus as TestDifferentialFixedSeeds, compiling
+// with each optimizer sub-pass individually disabled must still match
+// unoptimized-IR interpretation. This is what makes -disable-pass safe to
+// use for debugging: an ablated pipeline is slower, never wrong.
+func TestAblationFixedSeeds(t *testing.T) {
+	n := int64(150)
+	if testing.Short() {
+		n = 20
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		r := rand.New(rand.NewSource(seed * 7919))
+		c := int64(r.Intn(1024) - 512)
+		x := int64(r.Intn(4000) - 2000)
+		if err := RunAblation(seed, c, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"dyncc/internal/core"
 	"dyncc/internal/ir"
+	"dyncc/internal/opt"
 	"dyncc/internal/rtr"
 )
 
@@ -204,13 +205,20 @@ func limit(v, lo, hi int64) int64 {
 	return lo + m
 }
 
-// Run generates the program for seed and differentially executes it:
-// reference = unoptimized IR interpretation, subjects = the fully
-// optimized dynamic pipeline, inline and with asynchronous background
-// stitching. cIn and xIn parameterize the run-time constant and the
-// varying input. A non-nil error describes the first divergence, with the
-// generated source embedded for reproduction.
-func Run(seed, cIn, xIn int64) error {
+// testCase is one generated program plus its reference outputs.
+type testCase struct {
+	seed     int64
+	src      string
+	n, c     int64
+	contents []int64
+	xs       []int64
+	want     []int64
+}
+
+// buildCase generates the program for seed and computes the reference
+// outputs by interpreting the unoptimized SSA IR — no optimizer,
+// splitter, regalloc, codegen, stitcher or VM involved.
+func buildCase(seed, cIn, xIn int64) (*testCase, error) {
 	r := rand.New(rand.NewSource(seed))
 	src := Gen(r)
 
@@ -222,11 +230,9 @@ func Run(seed, cIn, xIn int64) error {
 	}
 	xs := []int64{xIn, xIn + 17, -xIn, xIn ^ c, int64(r.Intn(100)) - 50}
 
-	// Reference: interpret the unoptimized SSA IR. No optimizer, splitter,
-	// regalloc, codegen, stitcher or VM involved.
 	ref, err := core.Compile(src, core.Config{Dynamic: false, Optimize: false})
 	if err != nil {
-		return fmt.Errorf("reference compile: %w\n%s", err, src)
+		return nil, fmt.Errorf("reference compile: %w\n%s", err, src)
 	}
 	env := ir.NewInterpEnv(ref.Module, 0)
 	ra := env.Alloc(n)
@@ -235,11 +241,67 @@ func Run(seed, cIn, xIn int64) error {
 	for i, x := range xs {
 		v, err := env.CallFunc("f", ra, n, c, x)
 		if err != nil {
-			return fmt.Errorf("reference run (c=%d x=%d): %w\n%s", c, x, err, src)
+			return nil, fmt.Errorf("reference run (c=%d x=%d): %w\n%s", c, x, err, src)
 		}
 		want[i] = v
 	}
+	return &testCase{seed: seed, src: src, n: n, c: c,
+		contents: contents, xs: xs, want: want}, nil
+}
 
+// checkSubject compiles the case's program under cfg and compares every
+// run against the reference outputs. AsyncStitch subjects additionally
+// quiesce the worker pool and re-run everything warm, so the fallback
+// tier and the promoted stitched tier are both checked.
+func (tc *testCase) checkSubject(name string, cfg core.Config) error {
+	p, err := core.Compile(tc.src, cfg)
+	if err != nil {
+		return fmt.Errorf("%s compile: %w\n%s", name, err, tc.src)
+	}
+	defer p.Runtime.Close()
+	m := p.NewMachine(0)
+	va, err := m.Alloc(tc.n)
+	if err != nil {
+		return fmt.Errorf("%s alloc: %w", name, err)
+	}
+	copy(m.Mem[va:va+tc.n], tc.contents)
+	run := func(phase string) error {
+		for i, x := range tc.xs {
+			got, err := m.Call("f", va, tc.n, tc.c, x)
+			if err != nil {
+				return fmt.Errorf("%s %srun (c=%d x=%d): %w\n%s",
+					name, phase, tc.c, x, err, tc.src)
+			}
+			if got != tc.want[i] {
+				return fmt.Errorf("%s %sdiverges (seed=%d c=%d x=%d): got %d, reference %d\n%s",
+					name, phase, tc.seed, tc.c, x, got, tc.want[i], tc.src)
+			}
+		}
+		return nil
+	}
+	if err := run(""); err != nil {
+		return err
+	}
+	if cfg.Cache.AsyncStitch {
+		p.Runtime.WaitIdle()
+		if err := run("warm "); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run generates the program for seed and differentially executes it:
+// reference = unoptimized IR interpretation, subjects = the fully
+// optimized dynamic pipeline, inline and with asynchronous background
+// stitching. cIn and xIn parameterize the run-time constant and the
+// varying input. A non-nil error describes the first divergence, with the
+// generated source embedded for reproduction.
+func Run(seed, cIn, xIn int64) error {
+	tc, err := buildCase(seed, cIn, xIn)
+	if err != nil {
+		return err
+	}
 	subjects := []struct {
 		name string
 		cfg  core.Config
@@ -250,47 +312,41 @@ func Run(seed, cIn, xIn int64) error {
 			Cache: rtr.CacheOptions{AsyncStitch: true}}},
 	}
 	for _, sub := range subjects {
-		p, err := core.Compile(src, sub.cfg)
-		if err != nil {
-			return fmt.Errorf("%s compile: %w\n%s", sub.name, err, src)
+		if err := tc.checkSubject(sub.name, sub.cfg); err != nil {
+			return err
 		}
-		m := p.NewMachine(0)
-		va, err := m.Alloc(n)
-		if err != nil {
-			return fmt.Errorf("%s alloc: %w", sub.name, err)
+	}
+	return nil
+}
+
+// AblationPasses lists the optimizer sub-passes RunAblation disables one
+// at a time.
+func AblationPasses() []string {
+	subs := opt.SubPasses()
+	names := make([]string, len(subs))
+	for i, sp := range subs {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// RunAblation is the pipeline's pass-ablation differential: for each
+// optimizer sub-pass, compile the generated program with exactly that
+// pass disabled and re-check semantic equivalence against the
+// unoptimized-IR reference. Any divergence means a sub-pass is either
+// unsound on its own or — more subtly — that another pass silently
+// depends on its effects for correctness rather than just quality.
+func RunAblation(seed, cIn, xIn int64) error {
+	tc, err := buildCase(seed, cIn, xIn)
+	if err != nil {
+		return err
+	}
+	for _, pass := range AblationPasses() {
+		cfg := core.Config{Dynamic: true, Optimize: true,
+			DisablePasses: []string{pass}}
+		if err := tc.checkSubject("ablate:"+pass, cfg); err != nil {
+			return err
 		}
-		copy(m.Mem[va:va+n], contents)
-		for i, x := range xs {
-			got, err := m.Call("f", va, n, c, x)
-			if err != nil {
-				p.Runtime.Close()
-				return fmt.Errorf("%s run (c=%d x=%d): %w\n%s", sub.name, c, x, err, src)
-			}
-			if got != want[i] {
-				p.Runtime.Close()
-				return fmt.Errorf("%s diverges (seed=%d c=%d x=%d): got %d, reference %d\n%s",
-					sub.name, seed, c, x, got, want[i], src)
-			}
-		}
-		if sub.cfg.Cache.AsyncStitch {
-			// Quiesce the pool, then re-run everything against the
-			// promoted (stitched) code: the fallback tier and the stitched
-			// tier must agree with the reference.
-			p.Runtime.WaitIdle()
-			for i, x := range xs {
-				got, err := m.Call("f", va, n, c, x)
-				if err != nil {
-					p.Runtime.Close()
-					return fmt.Errorf("%s warm run (c=%d x=%d): %w\n%s", sub.name, c, x, err, src)
-				}
-				if got != want[i] {
-					p.Runtime.Close()
-					return fmt.Errorf("%s warm diverges (seed=%d c=%d x=%d): got %d, reference %d\n%s",
-						sub.name, seed, c, x, got, want[i], src)
-				}
-			}
-		}
-		p.Runtime.Close()
 	}
 	return nil
 }
