@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile table2 clean
+.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile bench-stitch table2 clean
 
 all: check
 
 # Tier 1: everything builds, gofmt and vet are clean, the full suite
-# passes, the cache/eviction/async-stitch machinery passes its package
-# tests under the race detector (fast enough for every check run; `race`
-# still covers the whole tree), the differential fuzzer gets a short smoke
-# run over the seed corpus plus fresh inputs, and the suite runs once more
-# with ir.Verify forced between all compiler passes (check-passes).
+# passes (including the stencil ablation in the pass sweep), the
+# cache/eviction/async-stitch machinery and the stencil/interpretive
+# stitch differential pass under the race detector (fast enough for every
+# check run; `race` still covers the whole tree), the differential fuzzer
+# gets a short smoke run over the seed corpus plus fresh inputs, and the
+# suite runs once more with ir.Verify forced between all compiler passes
+# (check-passes).
 check:
 	$(GO) build ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -17,6 +19,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rtr
+	$(GO) test -race -short -timeout 120s -run 'TestStencil' ./internal/testgen
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/testgen
 	$(MAKE) check-passes
 
@@ -63,6 +66,12 @@ bench-async:
 # written to BENCH_5.json.
 bench-compile:
 	$(GO) run ./cmd/dynbench -compiletime -json BENCH_5.json
+
+# Stitcher emission paths: Go benchmarks (stencil vs interpretive, full and
+# dry stitches) plus the machine-readable comparison in BENCH_6.json.
+bench-stitch:
+	$(GO) test -run '^$$' -bench Stitch -count=5 ./internal/stitcher
+	$(GO) run ./cmd/dynbench -stitchperf -json BENCH_6.json
 
 # Regenerate the paper's tables on stdout.
 table2:

@@ -20,6 +20,12 @@
 // background stitching (the tiered-execution result):
 //
 //	dynbench -asyncstitch -json BENCH_4.json
+//
+// -stitchperf compares the stitcher's two emission paths — precompiled
+// copy-and-patch stencils versus the interpretive template walk
+// (`-disable-pass stencil`) — on a stitch-heavy keyed region:
+//
+//	dynbench -stitchperf -json BENCH_6.json
 package main
 
 import (
@@ -48,6 +54,8 @@ type jsonReport struct {
 	CompileTime *bench.CompileTimeResult `json:"compile_time,omitempty"`
 	// ColdBurst is present only when -asyncstitch is given.
 	ColdBurst *bench.ColdBurstResult `json:"cold_burst,omitempty"`
+	// StitchPerf is present only when -stitchperf is given.
+	StitchPerf *bench.StitchPerfResult `json:"stitch_perf,omitempty"`
 	// GOMAXPROCS records how many OS threads the parallel sweep could
 	// actually use, so scaling numbers can be interpreted.
 	GOMAXPROCS int `json:"gomaxprocs"`
@@ -76,6 +84,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "run the parallel-machines sweep up to N machines")
 	cachechurn := flag.Bool("cachechurn", false, "run the bounded-cache churn benchmark (Zipf keys over a keyed region)")
 	asyncstitch := flag.Bool("asyncstitch", false, "run the cold-burst latency comparison (inline vs background stitching)")
+	stitchperf := flag.Bool("stitchperf", false, "compare stencil vs interpretive stitch cost on a stitch-heavy region")
+	spIters := flag.Int("stitchiters", 0, "stitches per subject for -stitchperf (0 = default 20000)")
 	compiletime := flag.Bool("compiletime", false, "measure per-pass static compile latency over the example corpus")
 	ctIters := flag.Int("ctiters", 0, "compiles per program for -compiletime (0 = default 30)")
 	churnCap := flag.Int("churncap", 0, "cache cap (MaxEntries) for -cachechurn (0 = default 256)")
@@ -164,6 +174,17 @@ func main() {
 		fmt.Println()
 	}
 
+	var sperf *bench.StitchPerfResult
+	if *stitchperf {
+		sperf, err = bench.StitchPerf(*spIters)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Stitch perf: copy-and-patch stencils vs interpretive stitching")
+		bench.PrintStitchPerf(os.Stdout, sperf)
+		fmt.Println()
+	}
+
 	var sweep []*bench.ParallelResult
 	if *parallel > 0 {
 		sweep, err = bench.ParallelSweep(*parallel, *uses)
@@ -178,7 +199,7 @@ func main() {
 
 	if *jsonPath != "" {
 		rep := jsonReport{Parallel: sweep, CacheChurn: churn, ColdBurst: cold,
-			CompileTime: ct, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+			CompileTime: ct, StitchPerf: sperf, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 		for _, m := range rows {
 			rep.Table2 = append(rep.Table2, jsonRow{
 				Name: m.Name, Config: m.Config, Speedup: m.Speedup,

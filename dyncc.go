@@ -315,6 +315,10 @@ type RuntimeCacheStats struct {
 
 	Stitches       uint64
 	FailedStitches uint64
+	// StencilStitches counts successful stitches that ran on the
+	// precompiled copy-and-patch fast path; the rest took the interpretive
+	// fallback (nonzero under `-disable-pass stencil`).
+	StencilStitches uint64
 
 	Evictions     uint64
 	Restitches    uint64
@@ -355,6 +359,7 @@ func (p *Program) CacheStats() RuntimeCacheStats {
 		Misses:          cs.Misses,
 		Stitches:        cs.Stitches,
 		FailedStitches:  cs.FailedStitches,
+		StencilStitches: cs.StencilStitches,
 		Evictions:       cs.Evictions,
 		Restitches:      cs.Restitches,
 		Invalidations:   cs.Invalidations,

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+	"dyncc/internal/stitcher"
+	"dyncc/internal/tmpl"
+	"dyncc/internal/vm"
+)
+
+// stitchPerfIters is the default timed stitch count per subject: enough
+// for stable means on a ~10µs stitch without stretching the bench run.
+const stitchPerfIters = 20000
+
+// StitchPerfResult compares the stitcher's two emission paths — the
+// precompiled copy-and-patch stencils and the interpretive template walk
+// (`-disable-pass stencil`) — on the cold-burst kernel's stitch-heavy
+// keyed region (a 32-iteration unrolled loop). Timing covers emission only
+// (DryStitch): block walk, hole patching, branch resolution, loop
+// unrolling and peephole cleanup, but not the segment materialization both
+// paths share. Allocations are counted over the same warm emission loop;
+// the stencil path must not allocate at all.
+type StitchPerfResult struct {
+	Iters         int `json:"iters"`
+	Directives    int `json:"directives"`     // region directive count (Table 1 vocabulary)
+	StitchedInsts int `json:"stitched_insts"` // emitted instructions per stitch
+
+	StencilNsPerStitch    float64 `json:"stencil_ns_per_stitch"`
+	InterpNsPerStitch     float64 `json:"interp_ns_per_stitch"`
+	StencilNsPerDirective float64 `json:"stencil_ns_per_directive"`
+	InterpNsPerDirective  float64 `json:"interp_ns_per_directive"`
+	// Speedup is InterpNsPerStitch / StencilNsPerStitch.
+	Speedup float64 `json:"speedup"`
+
+	StencilAllocsPerStitch float64 `json:"stencil_allocs_per_stitch"`
+	InterpAllocsPerStitch  float64 `json:"interp_allocs_per_stitch"`
+
+	// Identical records the byte-identity cross-check: the two paths'
+	// fully materialized segments had equal Code and Consts.
+	Identical bool `json:"identical"`
+}
+
+// stitchSubject compiles the cold-burst kernel with or without stencil
+// precompilation and derives one specialization's constants table from the
+// key bytes alone (the same KeySetup route background workers use).
+func stitchSubject(disableStencil bool) (*core.Compiled, *tmpl.Region, []int64, int64, error) {
+	cfg := core.Config{
+		Dynamic: true, Optimize: true,
+		Cache: rtr.CacheOptions{AsyncStitch: true}, // installs KeySetup
+	}
+	if disableStencil {
+		cfg.DisablePasses = []string{"stencil"}
+	}
+	c, err := core.Compile(coldSrc, cfg)
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("stitchperf compile: %w", err)
+	}
+	region := c.Runtime.Regions[0]
+	if disableStencil && region.Stencil != nil {
+		c.Runtime.Close()
+		return nil, nil, nil, 0, fmt.Errorf("stitchperf: stencil attached despite -disable-pass stencil")
+	}
+	if !disableStencil && region.Stencil == nil {
+		c.Runtime.Close()
+		return nil, nil, nil, 0, fmt.Errorf("stitchperf: region %s did not precompile", region.Name)
+	}
+	setup := c.Runtime.KeySetup[0]
+	if setup == nil {
+		c.Runtime.Close()
+		return nil, nil, nil, 0, fmt.Errorf("stitchperf: region %s has no key setup", region.Name)
+	}
+	mem, tbl, err := setup([]int64{9})
+	if err != nil {
+		c.Runtime.Close()
+		return nil, nil, nil, 0, fmt.Errorf("stitchperf key setup: %w", err)
+	}
+	return c, region, mem, tbl, nil
+}
+
+// timeStitches runs iters warm dry stitches and reports mean ns and mean
+// allocations per stitch.
+func timeStitches(region *tmpl.Region, mem []int64, tbl int64, iters int) (float64, float64, error) {
+	for i := 0; i < 100; i++ { // warm the scratch pool
+		if _, err := stitcher.DryStitch(region, mem, tbl, stitcher.Options{}); err != nil {
+			return 0, 0, err
+		}
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := stitcher.DryStitch(region, mem, tbl, stitcher.Options{}); err != nil {
+			return 0, 0, err
+		}
+	}
+	el := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	ns := float64(el.Nanoseconds()) / float64(iters)
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+	return ns, allocs, nil
+}
+
+// StitchPerf measures stitch cost on both emission paths and cross-checks
+// byte identity of the materialized segments. Zero selects the default
+// iteration count.
+func StitchPerf(iters int) (*StitchPerfResult, error) {
+	if iters < 1 {
+		iters = stitchPerfIters
+	}
+
+	sc, sregion, smem, stbl, err := stitchSubject(false)
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Runtime.Close()
+	ic, iregion, imem, itbl, err := stitchSubject(true)
+	if err != nil {
+		return nil, err
+	}
+	defer ic.Runtime.Close()
+
+	sseg, sstats, err := stitcher.Stitch(sregion, smem, stbl,
+		sc.Runtime.Prog.Segs[sregion.FuncID], stitcher.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("stitchperf stencil stitch: %w", err)
+	}
+	if !sstats.StencilPath {
+		return nil, fmt.Errorf("stitchperf: stitch did not take the stencil path")
+	}
+	iseg, _, err := stitcher.Stitch(iregion, imem, itbl,
+		ic.Runtime.Prog.Segs[iregion.FuncID], stitcher.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("stitchperf interpretive stitch: %w", err)
+	}
+
+	sns, sallocs, err := timeStitches(sregion, smem, stbl, iters)
+	if err != nil {
+		return nil, fmt.Errorf("stitchperf stencil timing: %w", err)
+	}
+	ins, iallocs, err := timeStitches(iregion, imem, itbl, iters)
+	if err != nil {
+		return nil, fmt.Errorf("stitchperf interpretive timing: %w", err)
+	}
+
+	nd := len(sregion.Directives())
+	r := &StitchPerfResult{
+		Iters:                  iters,
+		Directives:             nd,
+		StitchedInsts:          sstats.InstsStitched,
+		StencilNsPerStitch:     sns,
+		InterpNsPerStitch:      ins,
+		StencilAllocsPerStitch: sallocs,
+		InterpAllocsPerStitch:  iallocs,
+		Identical:              sameSeg(sseg, iseg),
+	}
+	if nd > 0 {
+		r.StencilNsPerDirective = sns / float64(nd)
+		r.InterpNsPerDirective = ins / float64(nd)
+	}
+	if sns > 0 {
+		r.Speedup = ins / sns
+	}
+	if !r.Identical {
+		return nil, fmt.Errorf("stitchperf: stencil and interpretive segments diverge")
+	}
+	return r, nil
+}
+
+// sameSeg reports whether two stitched segments have identical code and
+// constant pools.
+func sameSeg(a, b *vm.Segment) bool {
+	if len(a.Code) != len(b.Code) || len(a.Consts) != len(b.Consts) {
+		return false
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			return false
+		}
+	}
+	for i := range a.Consts {
+		if a.Consts[i] != b.Consts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrintStitchPerf renders the stitch-path comparison.
+func PrintStitchPerf(w io.Writer, r *StitchPerfResult) {
+	fmt.Fprintf(w, "stitch-heavy keyed region: %d directives, %d stitched insts, %d stitches per subject\n",
+		r.Directives, r.StitchedInsts, r.Iters)
+	fmt.Fprintf(w, "  %-26s %8.0f ns/stitch   %6.1f ns/directive   %5.2f allocs/stitch\n",
+		"stencil (copy-and-patch)", r.StencilNsPerStitch, r.StencilNsPerDirective, r.StencilAllocsPerStitch)
+	fmt.Fprintf(w, "  %-26s %8.0f ns/stitch   %6.1f ns/directive   %5.2f allocs/stitch\n",
+		"interpretive fallback", r.InterpNsPerStitch, r.InterpNsPerDirective, r.InterpAllocsPerStitch)
+	fmt.Fprintf(w, "  %-26s %8.2fx   byte-identical segments: %v\n", "stencil speedup", r.Speedup, r.Identical)
+}

@@ -98,6 +98,10 @@ func newPipeline(cfg Config) *pipeline.Manager {
 	// ablation turns it off everywhere at once so fused-vs-unfused
 	// differential runs compare whole configurations.
 	mgr.Register(passCodegen{noFuse: cfg.Stitcher.NoFuse || !cfg.Optimize})
+	// Stencil precompilation serves the dynamic compiler, not the static
+	// code; it is optional so `-disable-pass stencil` can ablate the
+	// stitcher back to its interpretive path.
+	mgr.RegisterOptional(passStencil{})
 	return mgr
 }
 

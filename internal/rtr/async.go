@@ -229,6 +229,7 @@ func (rt *Runtime) runJob(job stitchJob) {
 	}
 	rt.asyncStitches.Add(1)
 	sh.stitches++
+	rt.countStencil(stats)
 	sh.addStatsLocked(job.region, stats)
 	e.bytes = int64(seg.MemFootprint())
 	restitch := sh.evicted.remove(ck)

@@ -39,53 +39,53 @@ func (st *stitch) patch(in vm.Inst, v int64) {
 	}
 }
 
-// csdTerms returns the canonical-signed-digit decomposition of v — a
-// minimal-ish set of ±2^k terms summing to v — and whether the
-// decomposition is complete within the term budget.
-func csdTerms(v int64) ([]struct {
+// csdTerm is one ±2^shift term of a canonical-signed-digit decomposition.
+type csdTerm struct {
 	shift int64
 	neg   bool
-}, bool) {
-	var terms []struct {
-		shift int64
-		neg   bool
-	}
+}
+
+// csdMaxTerms bounds the decomposition; beyond it a multiply is cheaper
+// anyway.
+const csdMaxTerms = 16
+
+// csdTerms returns the canonical-signed-digit decomposition of v — a
+// minimal-ish set of ±2^k terms summing to v — and whether the
+// decomposition is complete within the term budget. The terms come back in
+// a fixed-size value (no heap allocation: this runs once per patched
+// multiply on the stitcher's hot path).
+func csdTerms(v int64) (terms [csdMaxTerms]csdTerm, n int, complete bool) {
 	u := v
 	k := int64(0)
-	for u != 0 && len(terms) < 16 {
+	for u != 0 && n < csdMaxTerms {
 		if u&1 != 0 {
 			// Choose digit +1 or -1 so the remaining value stays even
 			// with a long run of zeros (u mod 4 == 1 → +1, == 3 → -1).
 			if u&3 == 3 {
-				terms = append(terms, struct {
-					shift int64
-					neg   bool
-				}{k, true})
+				terms[n] = csdTerm{k, true}
 				u++
 			} else {
-				terms = append(terms, struct {
-					shift int64
-					neg   bool
-				}{k, false})
+				terms[n] = csdTerm{k, false}
 				u--
 			}
+			n++
 		}
 		u >>= 1
 		k++
 	}
-	return terms, u == 0
+	return terms, n, u == 0
 }
 
 // emitCSD rewrites rd = rs * v as a chain of shifts and adds/subs when that
 // is cheaper than the modeled multiply. Uses the stitcher scratch
 // registers; rs is never clobbered before its last read.
 func (st *stitch) emitCSD(rd, rs vm.Reg, v int64) bool {
-	terms, complete := csdTerms(v)
-	if len(terms) == 0 || !complete {
+	terms, n, complete := csdTerms(v)
+	if n == 0 || !complete {
 		return false
 	}
-	cost := uint64(2*len(terms) - 1)
-	if len(terms) == 1 && !terms[0].neg {
+	cost := uint64(2*n - 1)
+	if n == 1 && !terms[0].neg {
 		cost = 1
 	}
 	if cost+1 >= vm.CostMul { // +1 for a possible final move
@@ -97,7 +97,7 @@ func (st *stitch) emitCSD(rd, rs vm.Reg, v int64) bool {
 		acc = vm.RScratch2
 	}
 	// Highest term first.
-	last := len(terms) - 1
+	last := n - 1
 	st.add(vm.Inst{Op: vm.SHLI, Rd: acc, Rs: rs, Imm: terms[last].shift})
 	if terms[last].neg {
 		st.add(vm.Inst{Op: vm.NEG, Rd: acc, Rs: acc})
@@ -174,7 +174,9 @@ func (st *stitch) strengthReduce(in vm.Inst, v int64) bool {
 
 // peephole removes branches to the next instruction and folds conditional
 // jumps over unconditional branches, remapping all intra-segment targets.
-// XFER targets point into the parent segment and are left alone.
+// XFER targets point into the parent segment and are left alone. The
+// compaction runs in place over pooled scratch — no allocation on warm
+// buffers.
 func (st *stitch) peephole() {
 	code := st.out
 	for i := 0; i+1 < len(code); i++ {
@@ -189,13 +191,15 @@ func (st *stitch) peephole() {
 			code[i+1] = vm.Inst{Op: vm.NOP}
 		}
 	}
-	keep := make([]bool, len(code))
+	keep := growBools(st.keepBuf, len(code))
+	st.keepBuf = keep
 	for i, in := range code {
 		keep[i] = in.Op != vm.NOP && !(in.Op == vm.BR && in.Target == i+1)
 	}
 	// Keep deleting newly-trivial branches until stable (a BR chain can
 	// collapse in multiple steps). Conservative single extra pass.
-	newpc := make([]int, len(code)+1)
+	newpc := growInts(st.pcBuf, len(code)+1)
+	st.pcBuf = newpc
 	n := 0
 	for i := range code {
 		newpc[i] = n
@@ -204,7 +208,7 @@ func (st *stitch) peephole() {
 		}
 	}
 	newpc[len(code)] = n
-	var out []vm.Inst
+	w := 0
 	for i, in := range code {
 		if !keep[i] {
 			continue
@@ -213,7 +217,8 @@ func (st *stitch) peephole() {
 		case vm.BEQZ, vm.BNEZ, vm.BEQI, vm.BR:
 			in.Target = newpc[in.Target]
 		}
-		out = append(out, in)
+		code[w] = in
+		w++
 	}
-	st.out = out
+	st.out = code[:w]
 }

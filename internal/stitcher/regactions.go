@@ -249,9 +249,12 @@ func (st *stitch) foldAddressesOnce() int {
 	return folded
 }
 
+// stripNops compacts the emission in place (no allocation on warm
+// scratch), remapping intra-segment branch targets.
 func (st *stitch) stripNops() {
 	code := st.out
-	newpc := make([]int, len(code)+1)
+	newpc := growInts(st.pcBuf, len(code)+1)
+	st.pcBuf = newpc
 	n := 0
 	for i, in := range code {
 		newpc[i] = n
@@ -260,8 +263,8 @@ func (st *stitch) stripNops() {
 		}
 	}
 	newpc[len(code)] = n
-	var out []vm.Inst
-	for i, in := range code {
+	w := 0
+	for _, in := range code {
 		if in.Op == vm.NOP {
 			continue
 		}
@@ -269,8 +272,8 @@ func (st *stitch) stripNops() {
 		case vm.BEQZ, vm.BNEZ, vm.BEQI, vm.BR:
 			in.Target = newpc[in.Target]
 		}
-		out = append(out, in)
-		_ = i
+		code[w] = in
+		w++
 	}
-	st.out = out
+	st.out = code[:w]
 }

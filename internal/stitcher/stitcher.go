@@ -6,12 +6,28 @@
 // loops by walking the per-iteration linked table records, maintaining a
 // linearized table for large and non-integer constants, and applying
 // peephole strength reduction that exploits the actual constant values.
+//
+// The stitcher has two emission paths producing byte-identical segments:
+//
+//   - The stencil fast path (fast.go) consumes the copy-and-patch stencils
+//     the `stencil` pipeline pass precompiled into each region: block
+//     bodies are bulk-copied between patch points and every hole, loop
+//     transition and terminator follows a precomputed descriptor. Warm, it
+//     performs no allocation until the finished segment is materialized.
+//   - The interpretive path (this file) walks the raw template structure,
+//     re-deriving loop chains and hole positions per emission. It is the
+//     semantic reference, the `-disable-pass stencil` ablation baseline,
+//     and the fallback for regions without stencils (hand-built test
+//     regions, or builds with the pass disabled).
+//
+// Both paths share the record-context representation (dense per-loop
+// windows bump-allocated from an arena), the integer-keyed emission memo
+// table, the value-dependent patch logic, and the post-emission cleanup
+// passes, which is what makes byte-for-byte equality hold by construction.
 package stitcher
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"sync"
 
 	"dyncc/internal/tmpl"
@@ -44,6 +60,10 @@ type Stats struct {
 	StoresPromoted     int
 	CyclesModeled      uint64
 	Fusion             vm.FuseStats // post-stitch superinstruction fusion
+	// StencilPath records whether this stitch ran on the precompiled
+	// copy-and-patch fast path (false: interpretive fallback). The two
+	// paths produce byte-identical segments and identical counters above.
+	StencilPath bool
 }
 
 // Modeled cycle costs of stitcher work, charged per action. The stitcher
@@ -59,89 +79,227 @@ const (
 	costPerLConst = 6  // install a large constant
 )
 
-// scratch holds the per-stitch working structures. Stitching is bursty —
-// a server warming K specializations runs the stitcher K times back to
-// back — so the maps and emit buffers are pooled rather than reallocated
-// per call. The final code/consts are copied into exact-size slices for
-// the segment, so pooled buffers never escape.
-type scratch struct {
-	out     []vm.Inst
-	consts  []int64
-	emitted map[string]int
-	cindex  map[int64]int
-	loops   map[int]*tmpl.Loop
-}
+// Retention caps for pooled scratch state. Stitching is bursty, so buffers
+// are pooled across calls — but one pathological stitch (a deeply unrolled
+// region) must not pin its high-water marks forever. Anything grown past
+// these thresholds is dropped when the scratch returns to the pool.
+const (
+	maxPooledCode      = 1 << 14 // out buffer, instructions
+	maxPooledConsts    = 1 << 10 // large-constant table entries
+	maxPooledMemoEnts  = 1 << 12 // memoized block emissions
+	maxPooledKeyWords  = 1 << 14 // memo key arena, words
+	maxPooledCtxChunks = 8       // record-context arena chunks
+)
 
-var scratchPool = sync.Pool{
-	New: func() any {
-		return &scratch{
-			emitted: make(map[string]int, 64),
-			cindex:  make(map[int64]int, 16),
-			loops:   make(map[int]*tmpl.Loop, 8),
-		}
-	},
-}
+// scratch holds the per-stitch working state. The stitch struct itself is
+// pooled (not just its buffers) so a warm stitch performs no allocation
+// before segment materialization.
+type scratch struct{ st stitch }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 // Stitch instantiates region's templates against the run-time constants
 // table at tableBase in mem, producing an executable segment whose exits
-// XFER back into parent. Stitch is safe to call concurrently (the runtime
-// singleflights concurrent stitches of the same specialization, but
-// distinct specializations may stitch in parallel).
+// XFER back into parent. When the region carries a precompiled stencil the
+// copy-and-patch fast path is used; otherwise the interpretive path.
+// Stitch is safe to call concurrently (the runtime singleflights
+// concurrent stitches of the same specialization, but distinct
+// specializations may stitch in parallel).
 func Stitch(region *tmpl.Region, mem []int64, tableBase int64,
 	parent *vm.Segment, opts Options) (*vm.Segment, *Stats, error) {
 
 	sc := scratchPool.Get().(*scratch)
-	clear(sc.emitted)
-	clear(sc.cindex)
-	clear(sc.loops)
-	st := &stitch{
-		r:       region,
-		mem:     mem,
-		tbl:     tableBase,
-		opts:    opts,
-		out:     sc.out[:0],
-		consts:  sc.consts[:0],
-		emitted: sc.emitted,
-		cindex:  sc.cindex,
-		loops:   sc.loops,
-		stats:   &Stats{},
-	}
-	defer func() {
-		// Keep whatever (possibly grown) buffers the stitch ended with.
-		sc.out, sc.consts = st.out, st.consts
-		scratchPool.Put(sc)
-	}()
-
-	// Precompute loop lookup tables.
-	for _, l := range region.Loops {
-		st.loops[l.ID] = l
-	}
-
-	entryPC, err := st.emitBlock(region.Entry, map[int]int64{})
-	if err != nil {
+	st := &sc.st
+	st.begin(region, mem, tableBase, opts)
+	if err := st.emit(); err != nil {
+		st.release(sc)
 		return nil, nil, err
 	}
+	seg := st.materialize(parent)
+	stats := st.statsVal
+	st.release(sc)
+	return seg, &stats, nil
+}
+
+// DryStitch runs the full emission pipeline — block walk, hole patching,
+// branch resolution, loop unrolling, peephole cleanup — without
+// materializing a segment. It exists for benchmarks and the allocation
+// accounting in bench.StitchPerf: on warm scratch the stencil path's dry
+// stitch is allocation-free, so DryStitch isolates emission cost from the
+// unavoidable segment/fusion allocations of a real stitch.
+func DryStitch(region *tmpl.Region, mem []int64, tableBase int64,
+	opts Options) (Stats, error) {
+
+	sc := scratchPool.Get().(*scratch)
+	st := &sc.st
+	st.begin(region, mem, tableBase, opts)
+	err := st.emit()
+	if err == nil {
+		st.statsVal.InstsStitched = len(st.out)
+		st.statsVal.CyclesModeled += uint64(costPerInst * len(st.out))
+	}
+	stats := st.statsVal
+	st.release(sc)
+	return stats, err
+}
+
+type stitch struct {
+	r    *tmpl.Region
+	sten *tmpl.Stencil // region's precompiled stencils, nil on the interpretive path
+	mem  []int64
+	tbl  int64
+	opts Options
+
+	out    []vm.Inst
+	consts []int64
+	cindex map[int64]int
+
+	// Emission memo table: open addressing over integer keys held in a
+	// flat arena. A key is the block index followed by the active record
+	// address of each enclosing unrolled loop in ascending-id order; it
+	// identifies one emission of a block exactly as the old string ctxKey
+	// did, without the per-emission fmt/sort/map cost.
+	memoSlots   []int32 // hash slot -> memoEntries index, or -1
+	memoEntries []memoEntry
+	memoKeys    []int64
+	keyBuf      []int64
+
+	// Record contexts: dense per-loop windows (index = loop id, value =
+	// active record address, -1 = no active record) bump-allocated from a
+	// chunked arena so windows never move as the arena grows.
+	ctx    ctxArena
+	nSlots int // window length: 1 + the region's max loop id
+
+	// Interpretive-path state.
+	loopByID []*tmpl.Loop
+	fromBuf  []int // chain scratch
+	toBuf    []int
+	sortBuf  []int
+	enterBuf []int
+
+	// Cleanup-pass scratch (peephole, NOP stripping, dead-write marking).
+	pcBuf   []int
+	keepBuf []bool
+
+	statsVal Stats
+	stats    *Stats
+}
+
+type memoEntry struct {
+	off, n int32 // key: memoKeys[off : off+n]
+	pc     int32
+}
+
+// begin resets pooled state and binds the stitch to one region/table.
+func (st *stitch) begin(region *tmpl.Region, mem []int64, tableBase int64, opts Options) {
+	st.r = region
+	st.sten = region.Stencil
+	st.mem = mem
+	st.tbl = tableBase
+	st.opts = opts
+	st.out = st.out[:0]
+	st.consts = st.consts[:0]
+	if st.cindex == nil {
+		st.cindex = make(map[int64]int, 16)
+	} else {
+		clear(st.cindex)
+	}
+	st.memoEntries = st.memoEntries[:0]
+	st.memoKeys = st.memoKeys[:0]
+	for i := range st.memoSlots {
+		st.memoSlots[i] = -1
+	}
+	st.ctx.reset()
+	st.statsVal = Stats{}
+	st.stats = &st.statsVal
+
+	if st.sten != nil {
+		st.stats.StencilPath = true
+		st.nSlots = st.sten.NumLoopSlots
+		return
+	}
+	maxID := -1
+	for _, l := range region.Loops {
+		if l.ID > maxID {
+			maxID = l.ID
+		}
+	}
+	st.nSlots = maxID + 1
+	st.loopByID = st.loopByID[:0]
+	for i := 0; i <= maxID; i++ {
+		st.loopByID = append(st.loopByID, nil)
+	}
+	for _, l := range region.Loops {
+		st.loopByID[l.ID] = l
+	}
+}
+
+// release trims oversized buffers, drops every reference to caller-owned
+// data (the pool must never pin a machine's memory or a region), and
+// returns the scratch to the pool.
+func (st *stitch) release(sc *scratch) {
+	if cap(st.out) > maxPooledCode {
+		st.out = nil
+	}
+	if cap(st.consts) > maxPooledConsts {
+		st.consts = nil
+	}
+	if len(st.cindex) > maxPooledConsts {
+		st.cindex = nil
+	}
+	if cap(st.memoEntries) > maxPooledMemoEnts {
+		st.memoEntries, st.memoSlots = nil, nil
+	}
+	if cap(st.memoKeys) > maxPooledKeyWords {
+		st.memoKeys = nil
+	}
+	st.ctx.trim(maxPooledCtxChunks)
+	st.r, st.sten, st.mem, st.stats = nil, nil, nil, nil
+	for i := range st.loopByID {
+		st.loopByID[i] = nil
+	}
+	scratchPool.Put(sc)
+}
+
+// emit runs block emission from the region entry plus the shared cleanup
+// passes, leaving the finished code in st.out.
+func (st *stitch) emit() error {
+	var entryPC int
+	var err error
+	if st.sten != nil {
+		entryPC, err = st.emitBlockS(int(st.sten.Entry), st.rootCtx())
+	} else {
+		entryPC, err = st.emitBlock(st.r.Entry, st.rootCtx())
+	}
+	if err != nil {
+		return err
+	}
 	if entryPC != 0 {
-		return nil, nil, fmt.Errorf("stitch: entry not at pc 0")
+		return fmt.Errorf("stitch: entry not at pc 0")
 	}
 	st.peephole()
 	for i := 0; i < 4; i++ {
-		if vm.DeadWriteNops(st.out) == 0 {
+		st.keepBuf = growBools(st.keepBuf, len(st.out)+1)
+		if vm.DeadWriteNopsBuf(st.out, st.keepBuf) == 0 {
 			break
 		}
 		st.stripNops()
 	}
-
-	if opts.RegisterActions {
+	if st.opts.RegisterActions {
 		st.registerActions()
 	}
+	return nil
+}
 
+// materialize copies the finished emission into an exact-size executable
+// segment (the only allocations of a warm stencil-path stitch).
+func (st *stitch) materialize(parent *vm.Segment) *vm.Segment {
 	st.stats.InstsStitched = len(st.out)
 	st.stats.CyclesModeled += uint64(costPerInst * len(st.out))
 
 	code := make([]vm.Inst, len(st.out))
 	copy(code, st.out)
-	if !opts.NoFuse {
+	if !st.opts.NoFuse {
 		// Superinstruction fusion on the finished stitch. Runs after the
 		// stats above so Table 2/3 report the pre-fusion stitch work;
 		// modeled guest cycles are unchanged by construction. Stitched
@@ -157,29 +315,15 @@ func Stitch(region *tmpl.Region, mem []int64, tableBase int64,
 		copy(consts, st.consts)
 	}
 	seg := &vm.Segment{
-		Name:     region.Name + ".stitched",
+		Name:     st.r.Name + ".stitched",
 		Code:     code,
 		Consts:   consts,
 		Parent:   parent,
-		Region:   region.Index,
+		Region:   st.r.Index,
 		Stitched: true,
 	}
 	seg.Prepare() // pay plan derivation at stitch time, not first run
-	return seg, st.stats, nil
-}
-
-type stitch struct {
-	r    *tmpl.Region
-	mem  []int64
-	tbl  int64
-	opts Options
-
-	out     []vm.Inst
-	consts  []int64
-	cindex  map[int64]int
-	emitted map[string]int
-	loops   map[int]*tmpl.Loop
-	stats   *Stats
+	return seg
 }
 
 func (st *stitch) add(in vm.Inst) int {
@@ -187,62 +331,160 @@ func (st *stitch) add(in vm.Inst) int {
 	return len(st.out) - 1
 }
 
-// chain returns the enclosing-loop ids of block bi, innermost first.
-func (st *stitch) chain(bi int) []int {
-	var ids []int
-	id := st.r.Blocks[bi].LoopID
-	for id >= 0 {
-		ids = append(ids, id)
-		id = st.loops[id].ParentID
-	}
-	return ids
+// ---- record contexts ----
+
+// ctxArena bump-allocates record-context windows in fixed chunks, so
+// outstanding windows never move when the arena grows and the chunks are
+// reused across stitches.
+type ctxArena struct {
+	chunks [][]int64
+	ci     int // chunk cursor
+	off    int // offset within chunks[ci]
 }
 
-func inChain(chain []int, id int) bool {
-	for _, c := range chain {
-		if c == id {
-			return true
+const ctxChunkWords = 2048
+
+func (a *ctxArena) reset() { a.ci, a.off = 0, 0 }
+
+func (a *ctxArena) trim(maxChunks int) {
+	if len(a.chunks) > maxChunks {
+		a.chunks = a.chunks[:maxChunks]
+	}
+}
+
+func (a *ctxArena) alloc(n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.ci < len(a.chunks) {
+			ch := a.chunks[a.ci]
+			if a.off+n <= len(ch) {
+				w := ch[a.off : a.off+n : a.off+n]
+				a.off += n
+				return w
+			}
+			a.ci++
+			a.off = 0
+			continue
+		}
+		size := ctxChunkWords
+		if n > size {
+			size = n
+		}
+		a.chunks = append(a.chunks, make([]int64, size))
+	}
+}
+
+// rootCtx returns the entry context: no loop has an active record.
+func (st *stitch) rootCtx() []int64 {
+	w := st.ctx.alloc(st.nSlots)
+	for i := range w {
+		w[i] = -1
+	}
+	return w
+}
+
+// ---- emission memo table ----
+
+func memoHash(key []int64) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a
+	for _, k := range key {
+		h ^= uint64(k)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (st *stitch) memoGet(key []int64) (int, bool) {
+	n := len(st.memoSlots)
+	if n == 0 {
+		return 0, false
+	}
+	mask := uint64(n - 1)
+	for i := memoHash(key) & mask; ; i = (i + 1) & mask {
+		ei := st.memoSlots[i]
+		if ei < 0 {
+			return 0, false
+		}
+		e := &st.memoEntries[ei]
+		if int(e.n) == len(key) && keysEqual(st.memoKeys[e.off:e.off+e.n], key) {
+			return int(e.pc), true
 		}
 	}
-	return false
 }
 
-// ctxKey identifies one emission of a block: the block plus the active
-// iteration records of its enclosing unrolled loops.
-func (st *stitch) ctxKey(bi int, ctx map[int]int64) string {
-	ids := st.chain(bi)
-	sort.Ints(ids)
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "b%d", bi)
-	for _, id := range ids {
-		fmt.Fprintf(&sb, "|%d:%d", id, ctx[id])
+func (st *stitch) memoPut(key []int64, pc int) {
+	if len(st.memoSlots) == 0 || (len(st.memoEntries)+1)*4 > len(st.memoSlots)*3 {
+		st.memoGrow()
 	}
-	return sb.String()
+	off := len(st.memoKeys)
+	st.memoKeys = append(st.memoKeys, key...)
+	st.memoEntries = append(st.memoEntries, memoEntry{off: int32(off), n: int32(len(key)), pc: int32(pc)})
+	st.memoInsert(int32(len(st.memoEntries)-1), key)
 }
 
-// slotAddr resolves a table slot reference against the active records.
-func (st *stitch) slotAddr(ref tmpl.SlotRef, ctx map[int]int64) (int64, error) {
+func (st *stitch) memoInsert(ei int32, key []int64) {
+	mask := uint64(len(st.memoSlots) - 1)
+	i := memoHash(key) & mask
+	for st.memoSlots[i] >= 0 {
+		i = (i + 1) & mask
+	}
+	st.memoSlots[i] = ei
+}
+
+func (st *stitch) memoGrow() {
+	n := len(st.memoSlots) * 2
+	if n < 64 {
+		n = 64
+	}
+	if cap(st.memoSlots) >= n {
+		st.memoSlots = st.memoSlots[:n]
+	} else {
+		st.memoSlots = make([]int32, n)
+	}
+	for i := range st.memoSlots {
+		st.memoSlots[i] = -1
+	}
+	for ei := range st.memoEntries {
+		e := &st.memoEntries[ei]
+		st.memoInsert(int32(ei), st.memoKeys[e.off:e.off+e.n])
+	}
+}
+
+func keysEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- shared slot resolution ----
+
+// readRef resolves an integer-coded slot reference (loopID -1 = region
+// table, else the loop's active record) and reads its value.
+func (st *stitch) readRef(loopID, slot int, ctx []int64) (int64, error) {
 	base := st.tbl
-	if ref.LoopID >= 0 {
-		rec, ok := ctx[ref.LoopID]
-		if !ok {
-			return 0, fmt.Errorf("stitch: no active record for loop %d", ref.LoopID)
+	if loopID >= 0 {
+		if loopID >= len(ctx) || ctx[loopID] < 0 {
+			return 0, fmt.Errorf("stitch: no active record for loop %d", loopID)
 		}
-		base = rec
+		base = ctx[loopID]
 	}
-	a := base + int64(ref.Slot)
+	a := base + int64(slot)
 	if a < 0 || a >= int64(len(st.mem)) {
 		return 0, fmt.Errorf("stitch: table slot out of bounds (%d)", a)
 	}
-	return a, nil
+	return st.mem[a], nil
 }
 
-func (st *stitch) readSlot(ref tmpl.SlotRef, ctx map[int]int64) (int64, error) {
-	a, err := st.slotAddr(ref, ctx)
-	if err != nil {
-		return 0, err
-	}
-	return st.mem[a], nil
+func (st *stitch) readSlot(ref tmpl.SlotRef, ctx []int64) (int64, error) {
+	return st.readRef(ref.LoopID, ref.Slot, ctx)
 }
 
 // largeConst interns v in the linearized large-constant table.
@@ -258,27 +500,81 @@ func (st *stitch) largeConst(v int64) int64 {
 	return int64(i)
 }
 
-// transition computes the record context for following the edge from -> to,
-// reading header slots when entering loops and advancing along the record
-// chain on back edges.
-func (st *stitch) transition(from, to int, ctx map[int]int64) (map[int]int64, error) {
-	fromChain := st.chain(from)
-	toChain := st.chain(to)
-	nctx := map[int]int64{}
-	for id, rec := range ctx {
-		if inChain(toChain, id) {
-			nctx[id] = rec
+// ---- interpretive path ----
+
+// chainInto writes the enclosing-loop ids of block bi into *buf,
+// innermost first, and returns the filled slice.
+func (st *stitch) chainInto(buf *[]int, bi int) []int {
+	ids := (*buf)[:0]
+	id := st.r.Blocks[bi].LoopID
+	for id >= 0 {
+		ids = append(ids, id)
+		id = st.loopByID[id].ParentID
+	}
+	*buf = ids
+	return ids
+}
+
+func inChain(chain []int, id int) bool {
+	for _, c := range chain {
+		if c == id {
+			return true
 		}
 	}
+	return false
+}
+
+// memoKeyI builds the integer memo key for one interpretive emission of
+// block bi: the block index, then the active record of each enclosing loop
+// in ascending-id order (a tiny insertion sort — chains are a handful of
+// ids — replacing the old sort.Ints + strings.Builder key).
+func (st *stitch) memoKeyI(bi int, ctx []int64) []int64 {
+	ids := st.sortBuf[:0]
+	id := st.r.Blocks[bi].LoopID
+	for id >= 0 {
+		cur := id
+		pos := len(ids)
+		ids = append(ids, 0)
+		for pos > 0 && ids[pos-1] > cur {
+			ids[pos] = ids[pos-1]
+			pos--
+		}
+		ids[pos] = cur
+		id = st.loopByID[cur].ParentID
+	}
+	st.sortBuf = ids
+	k := append(st.keyBuf[:0], int64(bi))
+	for _, lid := range ids {
+		k = append(k, ctx[lid])
+	}
+	st.keyBuf = k
+	return k
+}
+
+// transition computes the record context for following the edge from -> to,
+// reading header slots when entering loops and advancing along the record
+// chain on back edges. The new window carries only the target's chain
+// loops; everything else is masked to "no active record".
+func (st *stitch) transition(from, to int, ctx []int64) ([]int64, error) {
+	fromChain := st.chainInto(&st.fromBuf, from)
+	toChain := st.chainInto(&st.toBuf, to)
+	nctx := st.ctx.alloc(st.nSlots)
+	for i := range nctx {
+		nctx[i] = -1
+	}
+	for _, id := range toChain {
+		nctx[id] = ctx[id]
+	}
 	// Entering loops: outermost-first so parent records resolve.
-	var entering []int
+	entering := st.enterBuf[:0]
 	for _, id := range toChain {
 		if !inChain(fromChain, id) {
 			entering = append(entering, id)
 		}
 	}
+	st.enterBuf = entering
 	for i := len(entering) - 1; i >= 0; i-- {
-		l := st.loops[entering[i]]
+		l := st.loopByID[entering[i]]
 		if l.HeadBlock != to {
 			return nil, fmt.Errorf("stitch: loop %d entered at non-head block %d", l.ID, to)
 		}
@@ -290,9 +586,12 @@ func (st *stitch) transition(from, to int, ctx map[int]int64) (map[int]int64, er
 	}
 	// Back edge: advance to the next record (RESTART_LOOP).
 	for _, id := range toChain {
-		l := st.loops[id]
+		l := st.loopByID[id]
 		if l.HeadBlock == to && inChain(fromChain, id) {
 			rec := nctx[id]
+			if rec < 0 {
+				return nil, fmt.Errorf("stitch: no active record for loop %d", id)
+			}
 			a := rec + int64(l.NextSlot)
 			if a < 0 || a >= int64(len(st.mem)) {
 				return nil, fmt.Errorf("stitch: record link out of bounds (%d)", a)
@@ -307,7 +606,7 @@ func (st *stitch) transition(from, to int, ctx map[int]int64) (map[int]int64, er
 
 // emitEdge emits (or reuses) the code for following edge e out of block
 // `from` and returns the target pc.
-func (st *stitch) emitEdge(from int, e tmpl.Edge, ctx map[int]int64) (int, error) {
+func (st *stitch) emitEdge(from int, e tmpl.Edge, ctx []int64) (int, error) {
 	if e.Block < 0 {
 		// Region exit: a transfer stub back into the enclosing function.
 		pc := st.add(vm.Inst{Op: vm.XFER, Target: e.ExitPC})
@@ -320,23 +619,45 @@ func (st *stitch) emitEdge(from int, e tmpl.Edge, ctx map[int]int64) (int, error
 	return st.emitBlock(e.Block, nctx)
 }
 
-// emitBlock instantiates block bi under record context ctx (memoized).
-func (st *stitch) emitBlock(bi int, ctx map[int]int64) (int, error) {
-	key := st.ctxKey(bi, ctx)
-	if pc, ok := st.emitted[key]; ok {
+// emitBlock instantiates block bi under record context ctx (memoized; the
+// memo entry is installed before emission so record-chain cycles
+// terminate).
+func (st *stitch) emitBlock(bi int, ctx []int64) (int, error) {
+	key := st.memoKeyI(bi, ctx)
+	if pc, ok := st.memoGet(key); ok {
 		return pc, nil
 	}
 	start := len(st.out)
-	st.emitted[key] = start
+	st.memoPut(key, start)
 	st.stats.CyclesModeled += costPerBlock
 
 	b := st.r.Blocks[bi]
-	holeAt := map[int]tmpl.Hole{}
-	for _, h := range b.Holes {
-		holeAt[h.Pc] = h
+	holes := b.Holes
+	sorted := true
+	for i := 1; i < len(holes); i++ {
+		if holes[i].Pc < holes[i-1].Pc {
+			sorted = false
+			break
+		}
 	}
+	hi := 0
 	for pc, in := range b.Code {
-		if h, ok := holeAt[pc]; ok {
+		var h *tmpl.Hole
+		if sorted {
+			for hi < len(holes) && holes[hi].Pc < pc {
+				hi++
+			}
+			for j := hi; j < len(holes) && holes[j].Pc == pc; j++ {
+				h = &holes[j] // duplicates: last wins
+			}
+		} else {
+			for j := range holes {
+				if holes[j].Pc == pc {
+					h = &holes[j]
+				}
+			}
+		}
+		if h != nil {
 			v, err := st.readSlot(h.Slot, ctx)
 			if err != nil {
 				return 0, err
@@ -421,4 +742,20 @@ func (st *stitch) emitBlock(bi int, ctx map[int]int64) (int, error) {
 		return 0, fmt.Errorf("stitch: unknown terminator kind %d", t.Kind)
 	}
 	return start, nil
+}
+
+// ---- scratch growth helpers ----
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
 }

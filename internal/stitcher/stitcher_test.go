@@ -130,12 +130,12 @@ func TestSmallImmediatesPatchInPlace(t *testing.T) {
 
 func TestCSDTerms(t *testing.T) {
 	check := func(v int64) bool {
-		terms, complete := csdTerms(v)
+		terms, n, complete := csdTerms(v)
 		if !complete {
 			return true // incomplete decompositions are rejected by emitCSD
 		}
 		var sum int64
-		for _, tm := range terms {
+		for _, tm := range terms[:n] {
 			term := int64(1) << uint(tm.shift)
 			if tm.neg {
 				sum -= term

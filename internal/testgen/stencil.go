@@ -1,0 +1,154 @@
+// Stencil-path properties: the copy-and-patch fast path (the `stencil`
+// pipeline pass plus the stitcher's precompiled emission route) must be a
+// pure performance transform. Two properties pin that down:
+//
+//   - RunStencil: semantic differential. Stencil stitching, interpretive
+//     stitching (`-disable-pass stencil`) and unoptimized-IR interpretation
+//     must agree on every generated program, inline and with asynchronous
+//     background stitching.
+//
+//   - StencilIdentity: byte identity. The two stitcher paths must produce
+//     *identical* vm segments — same Code, same Consts — for the same
+//     (region, key) sequence. This is the strong form: the fast path is
+//     not merely equivalent, it is the same emission, so every downstream
+//     property (fusion, peephole, generation fencing, golden tables) holds
+//     for both paths by construction.
+package testgen
+
+import (
+	"fmt"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+	"dyncc/internal/vm"
+)
+
+// RunStencil differentially executes the generated program for seed across
+// the stencil/interpretive × inline/async subject matrix against the
+// unoptimized-IR reference, then asserts byte identity of the stitched
+// segments across the two stitcher paths.
+func RunStencil(seed, cIn, xIn int64) error {
+	tc, err := buildCase(seed, cIn, xIn)
+	if err != nil {
+		return err
+	}
+	subjects := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"stencil", core.Config{Dynamic: true, Optimize: true}},
+		{"interp", core.Config{Dynamic: true, Optimize: true,
+			DisablePasses: []string{"stencil"}}},
+		{"stencil+async", core.Config{Dynamic: true, Optimize: true,
+			Cache: rtr.CacheOptions{AsyncStitch: true}}},
+		{"interp+async", core.Config{Dynamic: true, Optimize: true,
+			DisablePasses: []string{"stencil"},
+			Cache:         rtr.CacheOptions{AsyncStitch: true}}},
+	}
+	for _, sub := range subjects {
+		if err := tc.checkSubject(sub.name, sub.cfg); err != nil {
+			return err
+		}
+	}
+	return tc.stencilIdentity()
+}
+
+// runKept compiles the case under cfg with diagnostic segment retention on,
+// runs the full call sequence, and returns the compiled program so the
+// caller can inspect Runtime.Stitched. Inline stitching only: stitch order
+// (and therefore retention order) is then deterministic, so two subjects
+// running the same call sequence retain comparable slices.
+func (tc *testCase) runKept(name string, cfg core.Config) (*core.Compiled, error) {
+	cfg.Cache.KeepStitched = true
+	p, err := core.Compile(tc.src, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s compile: %w\n%s", name, err, tc.src)
+	}
+	m := p.NewMachine(0)
+	va, err := m.Alloc(tc.n)
+	if err != nil {
+		p.Runtime.Close()
+		return nil, fmt.Errorf("%s alloc: %w", name, err)
+	}
+	copy(m.Mem[va:va+tc.n], tc.contents)
+	for _, x := range tc.xs {
+		if _, err := m.Call("f", va, tc.n, tc.c, x); err != nil {
+			p.Runtime.Close()
+			return nil, fmt.Errorf("%s run (c=%d x=%d): %w\n%s", name, tc.c, x, err, tc.src)
+		}
+	}
+	return p, nil
+}
+
+// stencilIdentity asserts that stencil and interpretive stitching emit
+// byte-identical segments, and that the StencilStitches counter classifies
+// both subjects correctly.
+func (tc *testCase) stencilIdentity() error {
+	sp, err := tc.runKept("identity:stencil", core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		return err
+	}
+	defer sp.Runtime.Close()
+	ip, err := tc.runKept("identity:interp", core.Config{Dynamic: true, Optimize: true,
+		DisablePasses: []string{"stencil"}})
+	if err != nil {
+		return err
+	}
+	defer ip.Runtime.Close()
+
+	scs, ics := sp.Runtime.CacheStats(), ip.Runtime.CacheStats()
+	if ics.StencilStitches != 0 {
+		return fmt.Errorf("identity: %d stencil stitches with the pass disabled (seed=%d)\n%s",
+			ics.StencilStitches, tc.seed, tc.src)
+	}
+	// Every region codegen produces must precompile (Build declining a
+	// region the pass fed it would silently ablate the fast path), so with
+	// the pass on every stitch takes the stencil route.
+	for i, r := range sp.Runtime.Regions {
+		if r.Stencil == nil {
+			return fmt.Errorf("identity: region %d (%s) has no stencil (seed=%d)\n%s",
+				i, r.Name, tc.seed, tc.src)
+		}
+	}
+	if scs.StencilStitches != scs.Stitches {
+		return fmt.Errorf("identity: %d of %d stitches took the stencil path (seed=%d)\n%s",
+			scs.StencilStitches, scs.Stitches, tc.seed, tc.src)
+	}
+
+	for region := range sp.Runtime.Regions {
+		ss, is := sp.Runtime.Stitched[region], ip.Runtime.Stitched[region]
+		if len(ss) != len(is) {
+			return fmt.Errorf("identity: region %d retained %d stencil vs %d interpretive segments (seed=%d)\n%s",
+				region, len(ss), len(is), tc.seed, tc.src)
+		}
+		for k := range ss {
+			if err := sameSegment(ss[k], is[k]); err != nil {
+				return fmt.Errorf("identity: region %d segment %d: %w (seed=%d)\n%s",
+					region, k, err, tc.seed, tc.src)
+			}
+		}
+	}
+	return nil
+}
+
+// sameSegment compares the emitted artifact fields the two stitcher paths
+// must agree on byte for byte.
+func sameSegment(a, b *vm.Segment) error {
+	if len(a.Code) != len(b.Code) {
+		return fmt.Errorf("code length %d != %d", len(a.Code), len(b.Code))
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			return fmt.Errorf("code[%d] differs: %+v != %+v", i, a.Code[i], b.Code[i])
+		}
+	}
+	if len(a.Consts) != len(b.Consts) {
+		return fmt.Errorf("const pool length %d != %d", len(a.Consts), len(b.Consts))
+	}
+	for i := range a.Consts {
+		if a.Consts[i] != b.Consts[i] {
+			return fmt.Errorf("consts[%d] differs: %d != %d", i, a.Consts[i], b.Consts[i])
+		}
+	}
+	return nil
+}

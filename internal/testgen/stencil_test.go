@@ -1,0 +1,27 @@
+package testgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStencilFixedSeeds is the copy-and-patch differential: over the same
+// fixed seed corpus as TestDifferentialFixedSeeds, stencil stitching,
+// interpretive stitching and unoptimized-IR interpretation must agree
+// (inline and async), and the two stitcher paths must emit byte-identical
+// segments. Run under -race this also exercises the pooled stitcher
+// scratch and the background workers concurrently.
+func TestStencilFixedSeeds(t *testing.T) {
+	n := int64(150)
+	if testing.Short() {
+		n = 20
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		r := rand.New(rand.NewSource(seed * 7919))
+		c := int64(r.Intn(1024) - 512)
+		x := int64(r.Intn(4000) - 2000)
+		if err := RunStencil(seed, c, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

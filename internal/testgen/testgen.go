@@ -319,15 +319,16 @@ func Run(seed, cIn, xIn int64) error {
 	return nil
 }
 
-// AblationPasses lists the optimizer sub-passes RunAblation disables one
-// at a time.
+// AblationPasses lists the disableable passes RunAblation knocks out one
+// at a time: every optimizer sub-pass, plus the stencil precompilation
+// pass (whose ablation falls back to interpretive stitching).
 func AblationPasses() []string {
 	subs := opt.SubPasses()
-	names := make([]string, len(subs))
-	for i, sp := range subs {
-		names[i] = sp.Name
+	names := make([]string, 0, len(subs)+1)
+	for _, sp := range subs {
+		names = append(names, sp.Name)
 	}
-	return names
+	return append(names, "stencil")
 }
 
 // RunAblation is the pipeline's pass-ablation differential: for each

@@ -113,6 +113,12 @@ type Region struct {
 	// shared cache). Regions that read machine memory during set-up are
 	// never shared: their tables alias per-machine data.
 	Shareable bool
+
+	// Stencil is the region's precompiled copy-and-patch form, attached by
+	// the `stencil` pipeline pass (see stencil.go). Nil when the pass is
+	// disabled or precompilation declined the region; the stitcher then
+	// falls back to interpreting the template structure directly.
+	Stencil *Stencil
 }
 
 // TemplateInsts returns the total template instruction count.

@@ -7,7 +7,17 @@ package vm
 // materializations left behind once literal operands are folded into
 // immediate instruction forms.
 func DeadWriteNops(code []Inst) int {
-	target := make([]bool, len(code)+1)
+	return DeadWriteNopsBuf(code, make([]bool, len(code)+1))
+}
+
+// DeadWriteNopsBuf is DeadWriteNops with a caller-provided branch-target
+// mark buffer (len >= len(code)+1), for hot callers that pool scratch and
+// must not allocate per call.
+func DeadWriteNopsBuf(code []Inst, target []bool) int {
+	target = target[:len(code)+1]
+	for i := range target {
+		target[i] = false
+	}
 	for _, in := range code {
 		switch in.Op {
 		case BEQZ, BNEZ, BEQI, BR, CMPBR, CMPBRI:
