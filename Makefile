@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile bench-stitch table2 clean
+.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile bench-stitch bench-serve table2 clean
 
 all: check
 
@@ -8,7 +8,9 @@ all: check
 # passes (including the stencil ablation in the pass sweep), the
 # cache/eviction/async-stitch machinery and the stencil/interpretive
 # stitch differential pass under the race detector (fast enough for every
-# check run; `race` still covers the whole tree), the differential fuzzer
+# check run; `race` still covers the whole tree), batch compilation gets a
+# race-enabled Compile/CompileBatch stress run, a fixed-seed differential
+# sweep smoke and a short race-enabled serving run, the differential fuzzer
 # gets a short smoke run over the seed corpus plus fresh inputs, and the
 # suite runs once more with ir.Verify forced between all compiler passes
 # (check-passes).
@@ -20,6 +22,9 @@ check:
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rtr
 	$(GO) test -race -short -timeout 120s -run 'TestStencil' ./internal/testgen
+	$(GO) test -race -short -timeout 180s -run 'TestCompileBatch|TestCompileRaceBatchVsSerial' ./internal/core
+	$(GO) test -short -timeout 120s -run 'TestBatchSweepFixedSeeds' ./internal/testgen
+	$(GO) test -race -short -timeout 180s -run 'TestServeSmall' ./internal/bench
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/testgen
 	$(MAKE) check-passes
 
@@ -72,6 +77,12 @@ bench-compile:
 bench-stitch:
 	$(GO) test -run '^$$' -bench Stitch -count=5 ./internal/stitcher
 	$(GO) run ./cmd/dynbench -stitchperf -json BENCH_6.json
+
+# Multi-tenant serving: the tenant fleet batch-compiled through
+# CompileBatch (timed against serial compilation, byte-identity checked)
+# and served under Zipf traffic, written to BENCH_7.json.
+bench-serve:
+	$(GO) run ./cmd/dynbench -serve -json BENCH_7.json
 
 # Regenerate the paper's tables on stdout.
 table2:

@@ -1,0 +1,53 @@
+package dyncc
+
+import (
+	"sync"
+	"testing"
+)
+
+// Program.Close and Program.WaitIdle are idempotent and safe to call
+// concurrently, in any order, and after Close — the public-API face of the
+// runtime's close/schedule handshake (double-Close used to be unspecified).
+func TestProgramCloseIdempotent(t *testing.T) {
+	src := `
+int scale(int s, int x) {
+    int r;
+    dynamicRegion key(s) () {
+        r = x * s;
+    }
+    return r;
+}`
+	for _, async := range []bool{false, true} {
+		p, err := Compile(src, Config{Dynamic: true, Optimize: true,
+			Cache: CacheOptions{AsyncStitch: async}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.NewMachine(0)
+		for k := int64(1); k <= 16; k++ {
+			if got, err := m.Call("scale", k, 3); err != nil || got != 3*k {
+				t.Fatalf("scale(%d,3) = %d, %v", k, got, err)
+			}
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.Close()
+				p.WaitIdle()
+				p.Close()
+			}()
+		}
+		wg.Wait()
+		p.Close()
+		p.WaitIdle()
+		// Still serving after Close (async cold keys fall back or stitch
+		// inline; nothing hangs or errors).
+		for k := int64(50); k <= 60; k++ {
+			if got, err := m.Call("scale", k, 9); err != nil || got != 9*k {
+				t.Fatalf("post-close scale(%d,9) = %d, %v (async=%v)", k, got, err, async)
+			}
+		}
+	}
+}

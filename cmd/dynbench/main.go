@@ -4,9 +4,14 @@
 // section 5 register-actions result, and — beyond the paper — a
 // parallel-machines sweep exercising the cross-machine stitch cache.
 //
-// With -json the run's measurements are also written machine-readable
-// (benchmark name, cycle counts, speedups, and parallel stitch throughput),
-// e.g. for regression tracking:
+// With -json the run's measurements are also written machine-readable for
+// regression tracking. Every mode shares one envelope:
+//
+//	{"mode": "...", "config": {...}, "results": {...}}
+//
+// where mode names the benchmarks that ran (joined with "+" when several
+// ran in one invocation), config records the effective knob settings
+// (including GOMAXPROCS), and results holds one section per benchmark.
 //
 //	dynbench -parallel 8 -json BENCH_1.json
 //
@@ -26,6 +31,14 @@
 // (`-disable-pass stencil`) — on a stitch-heavy keyed region:
 //
 //	dynbench -stitchperf -json BENCH_6.json
+//
+// -serve runs the multi-tenant serving benchmark: a testgen-generated
+// fleet of tenant programs batch-compiled through CompileBatch (timed
+// against serial compilation, byte-identity checked), then served with
+// Zipf traffic over tenants and keys under capped per-region caches and
+// async stitching:
+//
+//	dynbench -serve -json BENCH_7.json
 package main
 
 import (
@@ -34,31 +47,53 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"dyncc/internal/bench"
 )
 
-// jsonReport is the schema written by -json.
-type jsonReport struct {
-	Table2 []jsonRow `json:"table2,omitempty"`
-	// Parallel is present only when -parallel is given.
-	Parallel []*bench.ParallelResult `json:"parallel,omitempty"`
-	// Host sections are present only when -hostperf is given.
-	Host           []*bench.HostResult     `json:"host,omitempty"`
-	HostBaseline   []*bench.HostResult     `json:"host_baseline,omitempty"`
-	HostComparison []*bench.HostComparison `json:"host_comparison,omitempty"`
-	// CacheChurn is present only when -cachechurn is given.
-	CacheChurn *bench.ChurnResult `json:"cache_churn,omitempty"`
-	// CompileTime is present only when -compiletime is given.
-	CompileTime *bench.CompileTimeResult `json:"compile_time,omitempty"`
-	// ColdBurst is present only when -asyncstitch is given.
-	ColdBurst *bench.ColdBurstResult `json:"cold_burst,omitempty"`
-	// StitchPerf is present only when -stitchperf is given.
-	StitchPerf *bench.StitchPerfResult `json:"stitch_perf,omitempty"`
-	// GOMAXPROCS records how many OS threads the parallel sweep could
-	// actually use, so scaling numbers can be interpreted.
-	GOMAXPROCS int `json:"gomaxprocs"`
+// jsonEnvelope is the shared -json shape for every mode.
+type jsonEnvelope struct {
+	Mode    string      `json:"mode"`
+	Config  jsonConfig  `json:"config"`
+	Results jsonResults `json:"results"`
+}
+
+// jsonConfig records the effective settings of the run.
+type jsonConfig struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Uses       int    `json:"uses,omitempty"`
+	Merged     bool   `json:"merged,omitempty"`
+	Parallel   int    `json:"parallel,omitempty"`
+	ChurnCap   int    `json:"churn_cap,omitempty"`
+	ChurnKeys  int    `json:"churn_keys,omitempty"`
+	StitchIter int    `json:"stitch_iters,omitempty"`
+	CTIters    int    `json:"ct_iters,omitempty"`
+	HostDur    string `json:"host_dur,omitempty"`
+	Tenants    int    `json:"tenants,omitempty"`
+	Requests   int    `json:"requests,omitempty"`
+	Workers    int    `json:"compile_workers,omitempty"`
+}
+
+// jsonResults holds one section per benchmark that ran.
+type jsonResults struct {
+	Table2         []jsonRow                `json:"table2,omitempty"`
+	Parallel       []*bench.ParallelResult  `json:"parallel,omitempty"`
+	Host           []*bench.HostResult      `json:"host,omitempty"`
+	HostBaseline   []*bench.HostResult      `json:"host_baseline,omitempty"`
+	HostComparison []*bench.HostComparison  `json:"host_comparison,omitempty"`
+	CacheChurn     *bench.ChurnResult       `json:"cache_churn,omitempty"`
+	CompileTime    *bench.CompileTimeResult `json:"compile_time,omitempty"`
+	ColdBurst      *bench.ColdBurstResult   `json:"cold_burst,omitempty"`
+	StitchPerf     *bench.StitchPerfResult  `json:"stitch_perf,omitempty"`
+	Serve          *bench.ServeResult       `json:"serve,omitempty"`
+}
+
+// legacyReport is the pre-envelope flat schema, still accepted by
+// -hostbaseline so old BENCH_2.json baselines keep working.
+type legacyReport struct {
+	Host []*bench.HostResult `json:"host,omitempty"`
 }
 
 type jsonRow struct {
@@ -73,6 +108,19 @@ type jsonRow struct {
 	StitchedInsts     uint64  `json:"stitched_insts"`
 	Compiles          uint64  `json:"compiles"`
 	CyclesPerStitched float64 `json:"cycles_per_stitched_inst"`
+}
+
+func writeEnvelope(path string, modes []string, cfg jsonConfig, results jsonResults, fail func(error)) {
+	cfg.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep := jsonEnvelope{Mode: strings.Join(modes, "+"), Config: cfg, Results: results}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func main() {
@@ -90,6 +138,10 @@ func main() {
 	ctIters := flag.Int("ctiters", 0, "compiles per program for -compiletime (0 = default 30)")
 	churnCap := flag.Int("churncap", 0, "cache cap (MaxEntries) for -cachechurn (0 = default 256)")
 	churnKeys := flag.Int("churnkeys", 0, "distinct keys for -cachechurn (0 = default 4096)")
+	serve := flag.Bool("serve", false, "run the multi-tenant Zipf serving benchmark (batch compile + serve latency)")
+	tenants := flag.Int("tenants", 0, "tenant fleet size for -serve (0 = default 2000)")
+	requests := flag.Int("requests", 0, "total serve requests for -serve (0 = default 100000)")
+	workers := flag.Int("compileworkers", 0, "CompileBatch pool size for -serve (0 = default 8)")
 	jsonPath := flag.String("json", "", "also write measurements to this file as JSON")
 	hostperf := flag.Bool("hostperf", false, "measure host ns per guest instruction instead of the guest-cycle tables")
 	hostBase := flag.String("hostbaseline", "", "baseline JSON (a previous -hostperf run) to compare against")
@@ -106,6 +158,10 @@ func main() {
 		return
 	}
 
+	modes := []string{"table"}
+	var results jsonResults
+	cfgRec := jsonConfig{Uses: *uses, Merged: *merged}
+
 	cfg := bench.Config{Uses: *uses, MergedStitch: *merged}
 	rows, err := bench.Table2(cfg)
 	if err != nil {
@@ -120,6 +176,15 @@ func main() {
 		fmt.Println("Table 3: Optimizations Applied Dynamically")
 		bench.PrintTable3(os.Stdout, bench.Table3(rows))
 		fmt.Println()
+	}
+	for _, m := range rows {
+		results.Table2 = append(results.Table2, jsonRow{
+			Name: m.Name, Config: m.Config, Speedup: m.Speedup,
+			StaticPerUnit: m.StaticPerUnit, DynPerUnit: m.DynPerUnit,
+			Breakeven: m.Breakeven, SetupCycles: m.SetupCycles,
+			StitchCycles: m.StitchCycles, StitchedInsts: m.StitchedInsts,
+			Compiles: m.Compiles, CyclesPerStitched: m.CyclesPerStitched,
+		})
 	}
 	if *figure1 {
 		if err := bench.Figure1(os.Stdout); err != nil {
@@ -141,82 +206,88 @@ func main() {
 			ra.Speedup, ra.Stitch.LoadsPromoted, ra.Stitch.StoresPromoted)
 	}
 
-	var churn *bench.ChurnResult
 	if *cachechurn {
-		churn, err = bench.CacheChurn(0, *uses, *churnKeys, *churnCap)
+		modes = append(modes, "cachechurn")
+		cfgRec.ChurnCap = *churnCap
+		cfgRec.ChurnKeys = *churnKeys
+		results.CacheChurn, err = bench.CacheChurn(0, *uses, *churnKeys, *churnCap)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println("Cache churn: bounded stitch cache under a Zipf key stream")
-		bench.PrintChurn(os.Stdout, churn)
+		bench.PrintChurn(os.Stdout, results.CacheChurn)
 		fmt.Println()
 	}
 
-	var ct *bench.CompileTimeResult
 	if *compiletime {
-		ct, err = bench.CompileTime(*ctIters)
+		modes = append(modes, "compiletime")
+		cfgRec.CTIters = *ctIters
+		results.CompileTime, err = bench.CompileTime(*ctIters)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println("Compile time: per-pass static compile latency (example corpus)")
-		bench.PrintCompileTime(os.Stdout, ct)
+		bench.PrintCompileTime(os.Stdout, results.CompileTime)
 		fmt.Println()
 	}
 
-	var cold *bench.ColdBurstResult
 	if *asyncstitch {
-		cold, err = bench.ColdBurst(0, 0)
+		modes = append(modes, "asyncstitch")
+		results.ColdBurst, err = bench.ColdBurst(0, 0)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println("Cold burst: caller-visible latency, inline vs background stitching")
-		bench.PrintColdBurst(os.Stdout, cold)
+		bench.PrintColdBurst(os.Stdout, results.ColdBurst)
 		fmt.Println()
 	}
 
-	var sperf *bench.StitchPerfResult
 	if *stitchperf {
-		sperf, err = bench.StitchPerf(*spIters)
+		modes = append(modes, "stitchperf")
+		cfgRec.StitchIter = *spIters
+		results.StitchPerf, err = bench.StitchPerf(*spIters)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println("Stitch perf: copy-and-patch stencils vs interpretive stitching")
-		bench.PrintStitchPerf(os.Stdout, sperf)
+		bench.PrintStitchPerf(os.Stdout, results.StitchPerf)
 		fmt.Println()
 	}
 
-	var sweep []*bench.ParallelResult
 	if *parallel > 0 {
-		sweep, err = bench.ParallelSweep(*parallel, *uses)
+		modes = append(modes, "parallel")
+		cfgRec.Parallel = *parallel
+		results.Parallel, err = bench.ParallelSweep(*parallel, *uses)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("Parallel machines: shared stitch cache, %d distinct keys (GOMAXPROCS=%d)\n",
-			sweep[0].Keys, runtime.GOMAXPROCS(0))
-		bench.PrintParallel(os.Stdout, sweep)
+			results.Parallel[0].Keys, runtime.GOMAXPROCS(0))
+		bench.PrintParallel(os.Stdout, results.Parallel)
+		fmt.Println()
+	}
+
+	if *serve {
+		modes = append(modes, "serve")
+		cfgRec.Tenants = *tenants
+		cfgRec.Requests = *requests
+		cfgRec.Workers = *workers
+		results.Serve, err = bench.Serve(bench.ServeConfig{
+			Tenants:        *tenants,
+			Requests:       *requests,
+			CompileWorkers: *workers,
+			Async:          true,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Serve: multi-tenant batch compile + Zipf serving")
+		bench.PrintServe(os.Stdout, results.Serve)
 		fmt.Println()
 	}
 
 	if *jsonPath != "" {
-		rep := jsonReport{Parallel: sweep, CacheChurn: churn, ColdBurst: cold,
-			CompileTime: ct, StitchPerf: sperf, GOMAXPROCS: runtime.GOMAXPROCS(0)}
-		for _, m := range rows {
-			rep.Table2 = append(rep.Table2, jsonRow{
-				Name: m.Name, Config: m.Config, Speedup: m.Speedup,
-				StaticPerUnit: m.StaticPerUnit, DynPerUnit: m.DynPerUnit,
-				Breakeven: m.Breakeven, SetupCycles: m.SetupCycles,
-				StitchCycles: m.StitchCycles, StitchedInsts: m.StitchedInsts,
-				Compiles: m.Compiles, CyclesPerStitched: m.CyclesPerStitched,
-			})
-		}
-		data, err := json.MarshalIndent(&rep, "", "  ")
-		if err != nil {
-			fail(err)
-		}
-		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			fail(err)
-		}
-		fmt.Printf("wrote %s\n", *jsonPath)
+		writeEnvelope(*jsonPath, modes, cfgRec, results, fail)
 	}
 }
 
@@ -235,30 +306,27 @@ func runHostPerf(basePath, jsonPath string, minDur time.Duration, fail func(erro
 		if err != nil {
 			fail(err)
 		}
-		var rep jsonReport
+		var rep jsonEnvelope
 		if err := json.Unmarshal(data, &rep); err != nil {
 			fail(fmt.Errorf("parse %s: %w", basePath, err))
 		}
-		baseline = rep.Host
+		baseline = rep.Results.Host
+		if baseline == nil {
+			// Pre-envelope baselines kept the host rows at top level.
+			var old legacyReport
+			if err := json.Unmarshal(data, &old); err == nil {
+				baseline = old.Host
+			}
+		}
 	}
 	cmp := bench.CompareHost(rows, baseline)
 	fmt.Println("Host performance: ns per guest instruction (warm interpreter loop)")
 	bench.PrintHost(os.Stdout, rows, cmp)
 
 	if jsonPath != "" {
-		rep := jsonReport{
-			Host:           rows,
-			HostBaseline:   baseline,
-			HostComparison: cmp,
-			GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		}
-		data, err := json.MarshalIndent(&rep, "", "  ")
-		if err != nil {
-			fail(err)
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
-			fail(err)
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
+		writeEnvelope(jsonPath, []string{"hostperf"},
+			jsonConfig{HostDur: minDur.String()},
+			jsonResults{Host: rows, HostBaseline: baseline, HostComparison: cmp},
+			fail)
 	}
 }

@@ -73,6 +73,13 @@ type Config struct {
 	// sub-passes dump only on fixpoint rounds where they changed
 	// something).
 	DumpIR func(pass, fn, text string)
+	// CompileWorkers sizes CompileBatch's worker pool (0 = GOMAXPROCS).
+	// Ignored by Compile.
+	CompileWorkers int
+	// CollectErrors switches CompileBatch from first-error-wins semantics
+	// to per-source error collection (BatchResult.Errs). Ignored by
+	// Compile.
+	CollectErrors bool
 }
 
 // CacheOptions tune the runtime stitch cache (see DESIGN.md, "Runtime
@@ -129,14 +136,16 @@ type Program struct {
 	c *core.Compiled
 }
 
-// Compile compiles MiniC source with the given configuration.
-func Compile(src string, cfg Config) (*Program, error) {
-	c, err := core.Compile(src, core.Config{
-		Dynamic:       cfg.Dynamic,
-		Optimize:      cfg.Optimize,
-		MergedStitch:  cfg.MergedStitch,
-		DisablePasses: cfg.DisablePasses,
-		DumpIR:        cfg.DumpIR,
+// coreConfig lowers the public configuration to the internal one.
+func (cfg Config) coreConfig() core.Config {
+	return core.Config{
+		Dynamic:        cfg.Dynamic,
+		Optimize:       cfg.Optimize,
+		MergedStitch:   cfg.MergedStitch,
+		DisablePasses:  cfg.DisablePasses,
+		DumpIR:         cfg.DumpIR,
+		CompileWorkers: cfg.CompileWorkers,
+		CollectErrors:  cfg.CollectErrors,
 		Stitcher: stitcher.Options{
 			NoStrengthReduction: cfg.NoStrengthReduction,
 			NoFuse:              cfg.NoFuse,
@@ -157,11 +166,84 @@ func Compile(src string, cfg Config) (*Program, error) {
 			StitchWorkers:         cfg.Cache.StitchWorkers,
 			StitchQueue:           cfg.Cache.StitchQueue,
 		},
-	})
+	}
+}
+
+// Compile compiles MiniC source with the given configuration.
+func Compile(src string, cfg Config) (*Program, error) {
+	c, err := core.Compile(src, cfg.coreConfig())
 	if err != nil {
 		return nil, err
 	}
 	return &Program{c: c}, nil
+}
+
+// BatchStats summarizes one CompileBatch run: how many sources compiled
+// (and failed), the worker-pool size, batch wall clock and throughput, and
+// the pipeline's per-pass stats merged across every program and worker (so
+// a batch profiles exactly like one compile, scaled).
+type BatchStats struct {
+	Programs       int
+	Failed         int
+	Workers        int
+	Elapsed        time.Duration
+	ProgramsPerSec float64
+	PassTotals     []PassStat
+}
+
+// BatchResult is a deterministic batch compilation result: slot i always
+// corresponds to source i, regardless of worker scheduling.
+type BatchResult struct {
+	// Programs is index-aligned with the sources; a slot is nil exactly
+	// when that source failed.
+	Programs []*Program
+	// Errs is index-aligned with the sources and populated only in
+	// Config.CollectErrors mode; a slot is nil exactly when that source
+	// compiled.
+	Errs  []error
+	Stats BatchStats
+}
+
+// CompileBatch compiles many MiniC sources concurrently on a bounded pool
+// of Config.CompileWorkers goroutines (0 = GOMAXPROCS), one independent
+// pass pipeline per program over the shared immutable front-end tables.
+// Every program is byte-identical to a serial Compile of the same source.
+// By default the lowest-indexed failing source aborts the batch
+// (first-error-wins, deterministic even when a later source fails first in
+// wall-clock time); with Config.CollectErrors the batch always returns and
+// reports every failure in BatchResult.Errs.
+func CompileBatch(srcs []string, cfg Config) (*BatchResult, error) {
+	br, err := core.CompileBatch(srcs, cfg.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchResult{
+		Programs: make([]*Program, len(br.Programs)),
+		Stats: BatchStats{
+			Programs:       br.Stats.Programs,
+			Failed:         br.Stats.Failed,
+			Workers:        br.Stats.Workers,
+			Elapsed:        br.Stats.Elapsed,
+			ProgramsPerSec: br.Stats.ProgramsPerSec,
+		},
+	}
+	for i, c := range br.Programs {
+		if c != nil {
+			out.Programs[i] = &Program{c: c}
+		}
+	}
+	if br.Errs != nil {
+		out.Errs = append([]error(nil), br.Errs...)
+	}
+	for _, st := range br.Stats.PassTotals {
+		out.Stats.PassTotals = append(out.Stats.PassTotals, PassStat{
+			Name:     st.Pass,
+			Duration: st.Duration,
+			Runs:     st.Runs,
+			Changes:  st.Changes,
+		})
+	}
+	return out, nil
 }
 
 // CompileDynamic compiles with dynamic regions and optimization enabled.

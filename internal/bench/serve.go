@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+	"dyncc/internal/testgen"
+	"dyncc/internal/vm"
+)
+
+// Multi-tenant serving defaults: a fleet of ~2k generated tenant programs
+// (dispatch / pricing / templating flavors), batch-compiled, then served
+// with Zipf-distributed traffic over tenants AND over each tenant's key
+// space — the shape of a service hosting thousands of customer programs
+// where a few tenants carry most of the load and, within a tenant, a few
+// keys carry most of the requests. Per-region caches are capped so the
+// long tail of (tenant, key) specializations cannot grow without bound.
+const (
+	serveTenants   = 2000
+	serveRequests  = 100000
+	serveFrontends = 4
+	serveKeySpace  = 512
+	serveCacheCap  = 32
+	serveTableLen  = 6
+	serveZipfS     = 1.3
+	serveZipfV     = 1.0
+)
+
+// ServeConfig parameterizes the multi-tenant serving benchmark. Zero
+// fields select the standard configuration.
+type ServeConfig struct {
+	Tenants        int  // fleet size (default 2000)
+	Requests       int  // total serve requests across all frontends (default 100000)
+	Frontends      int  // concurrent serving goroutines (default 4)
+	KeySpace       int  // per-tenant specialization key space (default 512)
+	CacheCap       int  // per-region MaxEntries and MachineMaxEntries (default 32)
+	CompileWorkers int  // CompileBatch pool size (default 8)
+	Async          bool // serve with background stitching + fallback tier
+	SkipVerify     bool // skip the serial recompile + byte-identity check
+}
+
+func (c *ServeConfig) defaults() {
+	if c.Tenants < 1 {
+		c.Tenants = serveTenants
+	}
+	if c.Requests < 1 {
+		c.Requests = serveRequests
+	}
+	if c.Frontends < 1 {
+		c.Frontends = serveFrontends
+	}
+	if c.KeySpace < 2 {
+		c.KeySpace = serveKeySpace
+	}
+	if c.CacheCap < 1 {
+		c.CacheCap = serveCacheCap
+	}
+	if c.CompileWorkers < 1 {
+		c.CompileWorkers = 8
+	}
+}
+
+// ServeResult is the serving report: batch-compile throughput against the
+// serial baseline, then request latency percentiles under Zipf traffic.
+type ServeResult struct {
+	Tenants    int  `json:"tenants"`
+	Requests   int  `json:"requests"`
+	Frontends  int  `json:"frontends"`
+	KeySpace   int  `json:"key_space"`
+	CacheCap   int  `json:"cache_cap"`
+	Async      bool `json:"async"`
+	GoMaxProcs int  `json:"gomaxprocs"`
+
+	// Compile phase: the whole fleet through serial Compile, then through
+	// CompileBatch. Identical is the byte-identity verdict (fingerprints of
+	// every program match between the two); Speedup is batch/serial in
+	// programs/sec and is bounded above by GoMaxProcs.
+	CompileWorkers   int           `json:"compile_workers"`
+	SerialElapsed    time.Duration `json:"serial_elapsed_ns,omitempty"`
+	SerialPerSec     float64       `json:"serial_programs_per_sec,omitempty"`
+	BatchElapsed     time.Duration `json:"batch_elapsed_ns"`
+	BatchPerSec      float64       `json:"batch_programs_per_sec"`
+	Speedup          float64       `json:"speedup,omitempty"`
+	Identical        bool          `json:"identical,omitempty"`
+	VerifiedIdentity bool          `json:"verified_identity"`
+
+	// Serve phase.
+	ServeElapsed   time.Duration `json:"serve_elapsed_ns"`
+	RequestsPerSec float64       `json:"requests_per_sec"`
+	P50            time.Duration `json:"p50_ns"`
+	P99            time.Duration `json:"p99_ns"`
+	P999           time.Duration `json:"p999_ns"`
+	Max            time.Duration `json:"max_ns"`
+
+	// Cache totals summed over every tenant runtime.
+	Stitches      uint64 `json:"stitches"`
+	Evictions     uint64 `json:"evictions"`
+	SharedHits    uint64 `json:"shared_hits"`
+	PeakEntries   uint64 `json:"peak_entries"`
+	BytesResident uint64 `json:"bytes_resident"`
+	AsyncStitches uint64 `json:"async_stitches,omitempty"`
+	FallbackRuns  uint64 `json:"fallback_runs,omitempty"`
+	QueueRejects  uint64 `json:"queue_rejects,omitempty"`
+}
+
+// tenantState is one tenant's compiled program plus the per-frontend
+// machines serving it, created lazily on first request (Zipf traffic means
+// most frontends never touch most of the tail).
+type tenantState struct {
+	prog     *core.Compiled
+	table    []int64
+	machines []*serveMachine
+}
+
+type serveMachine struct {
+	once sync.Once
+	m    *vm.Machine
+	va   int64
+	err  error
+}
+
+func (ts *tenantState) machine(frontend int) (*serveMachine, error) {
+	sm := ts.machines[frontend]
+	sm.once.Do(func() {
+		// Tenant machines hold only the small data table plus call-stack
+		// headroom; the default machine memory (32 MB, zeroed on creation)
+		// would make machine set-up the dominant cost across a 2k-tenant
+		// fleet.
+		m := ts.prog.NewMachine(1 << 16)
+		va, err := m.Alloc(int64(len(ts.table)))
+		if err != nil {
+			sm.err = err
+			return
+		}
+		copy(m.Mem[va:va+int64(len(ts.table))], ts.table)
+		sm.m, sm.va = m, va
+	})
+	return sm, sm.err
+}
+
+// Serve runs the multi-tenant serving benchmark: generate cfg.Tenants
+// tenant programs, compile the fleet serially and through CompileBatch
+// (verifying byte-identical output unless SkipVerify), then serve
+// cfg.Requests requests from cfg.Frontends goroutines with Zipf-ranked
+// tenant selection and Zipf-ranked keys within each tenant, under capped
+// per-region caches (and, when cfg.Async, background stitching with the
+// generic fallback tier).
+func Serve(cfg ServeConfig) (*ServeResult, error) {
+	cfg.defaults()
+	res := &ServeResult{
+		Tenants:        cfg.Tenants,
+		Requests:       cfg.Requests,
+		Frontends:      cfg.Frontends,
+		KeySpace:       cfg.KeySpace,
+		CacheCap:       cfg.CacheCap,
+		Async:          cfg.Async,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		CompileWorkers: cfg.CompileWorkers,
+	}
+
+	srcs := make([]string, cfg.Tenants)
+	for i := range srcs {
+		srcs[i] = testgen.Tenant(int64(i))
+	}
+	ccfg := core.Config{
+		Dynamic: true, Optimize: true,
+		Cache: rtr.CacheOptions{
+			MaxEntries:        cfg.CacheCap,
+			MachineMaxEntries: cfg.CacheCap,
+			AsyncStitch:       cfg.Async,
+		},
+	}
+
+	// Serial baseline + fingerprints for the byte-identity check.
+	var serialFP []string
+	if !cfg.SkipVerify {
+		serialFP = make([]string, len(srcs))
+		start := time.Now()
+		for i, src := range srcs {
+			c, err := core.Compile(src, ccfg)
+			if err != nil {
+				return nil, fmt.Errorf("serve: serial compile of tenant %d: %w", i, err)
+			}
+			serialFP[i] = testgen.Fingerprint(c)
+			c.Runtime.Close()
+		}
+		res.SerialElapsed = time.Since(start)
+		res.SerialPerSec = float64(len(srcs)) / res.SerialElapsed.Seconds()
+	}
+
+	bcfg := ccfg
+	bcfg.CompileWorkers = cfg.CompileWorkers
+	start := time.Now()
+	br, err := core.CompileBatch(srcs, bcfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: batch compile: %w", err)
+	}
+	res.BatchElapsed = time.Since(start)
+	res.BatchPerSec = float64(len(srcs)) / res.BatchElapsed.Seconds()
+	defer func() {
+		for _, c := range br.Programs {
+			c.Runtime.Close()
+		}
+	}()
+	if !cfg.SkipVerify {
+		res.VerifiedIdentity = true
+		res.Identical = true
+		for i, c := range br.Programs {
+			if testgen.Fingerprint(c) != serialFP[i] {
+				res.Identical = false
+				return nil, fmt.Errorf("serve: tenant %d batch output diverges from serial compile", i)
+			}
+		}
+		res.Speedup = res.BatchPerSec / res.SerialPerSec
+	}
+
+	// Per-tenant serving state: a deterministic data table (used by the
+	// templating flavor; harmless ballast for the others) and a lazy
+	// machine slot per frontend.
+	tenants := make([]*tenantState, len(br.Programs))
+	for i, c := range br.Programs {
+		r := rand.New(rand.NewSource(int64(i)*2654435761 + 97))
+		table := make([]int64, serveTableLen)
+		for j := range table {
+			table[j] = int64(r.Intn(200) - 100)
+		}
+		ms := make([]*serveMachine, cfg.Frontends)
+		for j := range ms {
+			ms[j] = &serveMachine{}
+		}
+		tenants[i] = &tenantState{prog: c, table: table, machines: ms}
+	}
+
+	// Serve phase: each frontend draws (tenant, key) pairs from its own
+	// seeded Zipf streams and times every call.
+	perFrontend := cfg.Requests / cfg.Frontends
+	lat := make([][]time.Duration, cfg.Frontends)
+	errs := make([]error, cfg.Frontends)
+	var wg sync.WaitGroup
+	start = time.Now()
+	for f := 0; f < cfg.Frontends; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(f)*7919 + 13))
+			tz := rand.NewZipf(rng, serveZipfS, serveZipfV, uint64(cfg.Tenants-1))
+			kz := rand.NewZipf(rng, serveZipfS, serveZipfV, uint64(cfg.KeySpace-1))
+			ls := make([]time.Duration, 0, perFrontend)
+			for n := 0; n < perFrontend; n++ {
+				ts := tenants[tz.Uint64()]
+				sm, err := ts.machine(f)
+				if err != nil {
+					errs[f] = err
+					return
+				}
+				k := int64(kz.Uint64())
+				x := int64(n&1023) + 1
+				t0 := time.Now()
+				_, err = sm.m.Call(testgen.TenantEntry, sm.va, serveTableLen, k, x)
+				ls = append(ls, time.Since(t0))
+				if err != nil {
+					errs[f] = fmt.Errorf("serve request (frontend=%d k=%d x=%d): %w", f, k, x, err)
+					return
+				}
+			}
+			lat[f] = ls
+		}(f)
+	}
+	wg.Wait()
+	res.ServeElapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	all := make([]time.Duration, 0, cfg.Requests)
+	for _, ls := range lat {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.RequestsPerSec = float64(len(all)) / res.ServeElapsed.Seconds()
+	res.P50 = percentile(all, 0.50)
+	res.P99 = percentile(all, 0.99)
+	res.P999 = percentile(all, 0.999)
+	if len(all) > 0 {
+		res.Max = all[len(all)-1]
+	}
+
+	// Drain background stitchers, then sum cache stats across the fleet.
+	for _, c := range br.Programs {
+		c.Runtime.WaitIdle()
+		cs := c.Runtime.CacheStats()
+		res.Stitches += cs.Stitches
+		res.Evictions += cs.Evictions
+		res.SharedHits += cs.SharedHits
+		res.PeakEntries += cs.PeakEntries
+		res.BytesResident += cs.BytesResident
+		res.AsyncStitches += cs.AsyncStitches
+		res.FallbackRuns += cs.FallbackRuns
+		res.QueueRejects += cs.QueueRejects
+	}
+	return res, nil
+}
+
+// percentile reads the p-quantile from an ascending-sorted latency slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// PrintServe renders the serving report.
+func PrintServe(w io.Writer, r *ServeResult) {
+	fmt.Fprintf(w, "%d tenants, %d requests x %d frontends, %d keys/tenant (Zipf s=%.1f), cap %d entries/region, GOMAXPROCS=%d\n",
+		r.Tenants, r.Requests, r.Frontends, r.KeySpace, serveZipfS, r.CacheCap, r.GoMaxProcs)
+	fmt.Fprintf(w, "compile (batch, %d workers):\n", r.CompileWorkers)
+	if r.VerifiedIdentity {
+		fmt.Fprintf(w, "  %-22s %12.0f\n", "serial programs/sec", r.SerialPerSec)
+	}
+	fmt.Fprintf(w, "  %-22s %12.0f\n", "batch programs/sec", r.BatchPerSec)
+	if r.VerifiedIdentity {
+		fmt.Fprintf(w, "  %-22s %11.2fx\n", "speedup", r.Speedup)
+		fmt.Fprintf(w, "  %-22s %12v\n", "byte-identical", r.Identical)
+	}
+	fmt.Fprintf(w, "serve (async=%v):\n", r.Async)
+	fmt.Fprintf(w, "  %-22s %12.0f\n", "requests/sec", r.RequestsPerSec)
+	fmt.Fprintf(w, "  %-22s %12v\n", "p50", r.P50)
+	fmt.Fprintf(w, "  %-22s %12v\n", "p99", r.P99)
+	fmt.Fprintf(w, "  %-22s %12v\n", "p99.9", r.P999)
+	fmt.Fprintf(w, "  %-22s %12v\n", "max", r.Max)
+	fmt.Fprintf(w, "  %-22s %12d\n", "stitches", r.Stitches)
+	fmt.Fprintf(w, "  %-22s %12d\n", "evictions", r.Evictions)
+	fmt.Fprintf(w, "  %-22s %12d\n", "shared hits", r.SharedHits)
+	if r.Async {
+		fmt.Fprintf(w, "  %-22s %12d  (fallback runs %d, queue rejects %d)\n",
+			"async stitches", r.AsyncStitches, r.FallbackRuns, r.QueueRejects)
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// A scaled-down serving run, inline and async: the fleet compiles
+// byte-identically through CompileBatch, every request succeeds, caches
+// stay under their caps, and the latency percentiles are populated. Run
+// under -race by make check this also stresses the whole stack —
+// concurrent batch compilation, then concurrent serving across frontends —
+// in one pass.
+func TestServeSmall(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		cfg := ServeConfig{
+			Tenants:        30,
+			Requests:       2400,
+			Frontends:      3,
+			KeySpace:       96,
+			CacheCap:       12,
+			CompileWorkers: 4,
+			Async:          async,
+		}
+		if testing.Short() {
+			cfg.Tenants = 18
+			cfg.Requests = 1200
+			cfg.KeySpace = 64
+		}
+		r, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("async=%v: %v", async, err)
+		}
+		if !r.VerifiedIdentity || !r.Identical {
+			t.Errorf("async=%v: batch output not verified byte-identical to serial", async)
+		}
+		if r.BatchPerSec <= 0 || r.RequestsPerSec <= 0 {
+			t.Errorf("async=%v: throughput not populated", async)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 || r.P999 < r.P99 || r.Max < r.P999 {
+			t.Errorf("async=%v: percentiles not ordered: p50=%v p99=%v p999=%v max=%v",
+				async, r.P50, r.P99, r.P999, r.Max)
+		}
+		if r.Stitches == 0 {
+			t.Errorf("async=%v: no stitches recorded", async)
+		}
+		if async && r.AsyncStitches == 0 && r.FallbackRuns == 0 {
+			t.Error("async serve recorded no async stitches or fallback runs")
+		}
+	}
+}

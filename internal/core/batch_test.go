@@ -1,0 +1,289 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// batchTestSources returns a mixed corpus: the checked-in example kernels
+// plus small keyed/unkeyed region programs, so batch compilation covers
+// static functions, dynamic regions, unrolled loops and keyed sharing.
+func batchTestSources(t *testing.T) []string {
+	t.Helper()
+	srcs := []string{
+		`
+int scale(int s, int x) {
+    int r;
+    dynamicRegion key(s) () {
+        r = x * s;
+    }
+    return r;
+}`,
+		`
+int poly(int a, int b, int x) {
+    int r;
+    dynamicRegion key(a, b) () {
+        r = a * x + b;
+    }
+    return r;
+}`,
+		`
+int sum(int *v, int n, int x) {
+    int i;
+    int acc = 0;
+    dynamicRegion (v, n) {
+        unrolled for (i = 0; i < n; i++) {
+            acc = acc + v[i] * x;
+        }
+    }
+    return acc;
+}`,
+	}
+	for _, f := range []string{"../../testdata/dotproduct.mc", "../../testdata/fib.mc", "../../testdata/power.mc"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, string(data))
+	}
+	return srcs
+}
+
+// fingerprint renders everything the compiler produced for one program in
+// a stable textual form: the optimized IR of every function, the
+// disassembly of every static code segment, and every region's template
+// dump. Two compilations are byte-identical iff their fingerprints match.
+func fingerprint(c *Compiled) string {
+	var b strings.Builder
+	for _, f := range c.Module.Funcs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	for _, seg := range c.Output.Prog.Segs {
+		b.WriteString(seg.Disasm())
+		b.WriteByte('\n')
+	}
+	for _, r := range c.Output.Regions {
+		b.WriteString(r.Dump())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func passNames(c *Compiled) []string {
+	names := make([]string, len(c.Stats))
+	for i, st := range c.Stats {
+		names[i] = st.Pass
+	}
+	return names
+}
+
+// CompileBatch must produce, for every source and any worker count, output
+// byte-identical to a serial Compile — same IR, same machine code, same
+// templates, same pass list — with results in input order.
+func TestCompileBatchDeterministic(t *testing.T) {
+	srcs := batchTestSources(t)
+	cfg := Config{Dynamic: true, Optimize: true}
+
+	want := make([]string, len(srcs))
+	wantPasses := make([][]string, len(srcs))
+	for i, src := range srcs {
+		c, err := Compile(src, cfg)
+		if err != nil {
+			t.Fatalf("serial compile %d: %v", i, err)
+		}
+		want[i] = fingerprint(c)
+		wantPasses[i] = passNames(c)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		bcfg := cfg
+		bcfg.CompileWorkers = workers
+		br, err := CompileBatch(srcs, bcfg)
+		if err != nil {
+			t.Fatalf("batch (workers=%d): %v", workers, err)
+		}
+		if br.Stats.Workers != min(workers, len(srcs)) {
+			t.Errorf("workers: got %d, want %d", br.Stats.Workers, min(workers, len(srcs)))
+		}
+		if br.Stats.Programs != len(srcs) || br.Stats.Failed != 0 {
+			t.Errorf("stats: %d programs %d failed, want %d/0",
+				br.Stats.Programs, br.Stats.Failed, len(srcs))
+		}
+		if br.Stats.ProgramsPerSec <= 0 {
+			t.Error("ProgramsPerSec not populated")
+		}
+		for i, c := range br.Programs {
+			if c == nil {
+				t.Fatalf("workers=%d: program %d missing", workers, i)
+			}
+			if got := fingerprint(c); got != want[i] {
+				t.Errorf("workers=%d: program %d output differs from serial Compile", workers, i)
+			}
+			got := passNames(c)
+			if strings.Join(got, ",") != strings.Join(wantPasses[i], ",") {
+				t.Errorf("workers=%d: program %d pass list %v, want %v",
+					workers, i, got, wantPasses[i])
+			}
+		}
+	}
+}
+
+// First-error-wins must report the lowest-indexed failing source, not
+// whichever failed first in wall-clock time.
+func TestCompileBatchFirstErrorWins(t *testing.T) {
+	srcs := []string{
+		`int ok(int x) { return x + 1; }`,
+		`int broken( { return; }`,       // index 1: parse error
+		`int alsoBroken(int x) { re }`,  // index 2: parse error
+		`int fine(int x) { return x; }`, // fine
+	}
+	cfg := Config{Dynamic: true, Optimize: true, CompileWorkers: 4}
+	br, err := CompileBatch(srcs, cfg)
+	if err == nil {
+		t.Fatal("batch with broken sources returned no error")
+	}
+	if br != nil {
+		t.Error("first-error-wins must not return a partial result")
+	}
+	if !strings.Contains(err.Error(), "batch source 1:") {
+		t.Errorf("error should name the lowest failing index (1): %v", err)
+	}
+}
+
+// CollectErrors mode reports every failure per slot and still compiles the
+// healthy sources.
+func TestCompileBatchCollectErrors(t *testing.T) {
+	srcs := []string{
+		`int ok(int x) { return x + 1; }`,
+		`int broken( { return; }`,
+		`int fine(int x) { return x * 2; }`,
+	}
+	cfg := Config{Dynamic: true, Optimize: true, CollectErrors: true, CompileWorkers: 2}
+	br, err := CompileBatch(srcs, cfg)
+	if err != nil {
+		t.Fatalf("CollectErrors batch errored: %v", err)
+	}
+	if br.Stats.Programs != 2 || br.Stats.Failed != 1 {
+		t.Errorf("stats: %d programs %d failed, want 2/1", br.Stats.Programs, br.Stats.Failed)
+	}
+	if br.Programs[0] == nil || br.Programs[2] == nil {
+		t.Error("healthy sources must compile")
+	}
+	if br.Programs[1] != nil || br.Errs[1] == nil {
+		t.Error("slot 1 must hold an error and no program")
+	}
+	if br.Errs[0] != nil || br.Errs[2] != nil {
+		t.Error("healthy slots must have nil errors")
+	}
+}
+
+// The merged pass profile of a batch must equal the sum of its programs'
+// individual profiles.
+func TestCompileBatchPassTotals(t *testing.T) {
+	srcs := batchTestSources(t)
+	cfg := Config{Dynamic: true, Optimize: true, CompileWorkers: 3}
+	br, err := CompileBatch(srcs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := map[string]int{}
+	for _, c := range br.Programs {
+		for _, st := range c.Stats {
+			wantRuns[st.Pass] += st.Runs
+		}
+	}
+	if len(br.Stats.PassTotals) != len(wantRuns) {
+		t.Errorf("merged rows: %d, want %d", len(br.Stats.PassTotals), len(wantRuns))
+	}
+	for _, st := range br.Stats.PassTotals {
+		if st.Runs != wantRuns[st.Pass] {
+			t.Errorf("pass %s: merged runs %d, want %d", st.Pass, st.Runs, wantRuns[st.Pass])
+		}
+		if st.Duration <= 0 {
+			t.Errorf("pass %s: merged duration not positive", st.Pass)
+		}
+	}
+}
+
+// The shared-front-end stress: many goroutines compiling the same sources
+// through Compile and CompileBatch simultaneously must produce
+// byte-identical artifacts and identical pass lists. Run under -race (make
+// check) this is the proof that the interned token/keyword tables, the
+// types universe and the rest of the pipeline share no hidden mutable
+// state.
+func TestCompileRaceBatchVsSerial(t *testing.T) {
+	srcs := batchTestSources(t)
+	cfg := Config{Dynamic: true, Optimize: true}
+
+	want := make([]string, len(srcs))
+	wantPasses := make([]string, len(srcs))
+	for i, src := range srcs {
+		c, err := Compile(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fingerprint(c)
+		wantPasses[i] = strings.Join(passNames(c), ",")
+	}
+
+	const goroutines = 8
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				if g%2 == 0 {
+					i := (g/2 + round) % len(srcs)
+					c, err := Compile(srcs[i], cfg)
+					if err != nil {
+						t.Errorf("concurrent Compile: %v", err)
+						return
+					}
+					if fingerprint(c) != want[i] {
+						t.Errorf("concurrent Compile of source %d diverged", i)
+						return
+					}
+				} else {
+					bcfg := cfg
+					bcfg.CompileWorkers = 4
+					br, err := CompileBatch(srcs, bcfg)
+					if err != nil {
+						t.Errorf("concurrent CompileBatch: %v", err)
+						return
+					}
+					for i, c := range br.Programs {
+						if fingerprint(c) != want[i] {
+							t.Errorf("concurrent CompileBatch source %d diverged", i)
+							return
+						}
+						if got := strings.Join(passNames(c), ","); got != wantPasses[i] {
+							t.Errorf("concurrent CompileBatch source %d pass list %q, want %q",
+								i, got, wantPasses[i])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// An empty batch is a valid no-op.
+func TestCompileBatchEmpty(t *testing.T) {
+	br, err := CompileBatch(nil, Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Programs) != 0 || br.Stats.Programs != 0 {
+		t.Error("empty batch must produce nothing")
+	}
+}

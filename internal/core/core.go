@@ -53,6 +53,13 @@ type Config struct {
 	// DYNCC_VERIFY_ALL environment variable (`make check-passes` runs the
 	// whole suite that way).
 	VerifyAll bool
+	// CompileWorkers sizes CompileBatch's goroutine pool (0 = GOMAXPROCS).
+	// Ignored by Compile.
+	CompileWorkers int
+	// CollectErrors switches CompileBatch from first-error-wins (the
+	// lowest-indexed failure aborts the batch) to per-source error
+	// collection in BatchResult.Errs. Ignored by Compile.
+	CollectErrors bool
 }
 
 // DefaultConfig compiles dynamically with full optimization.

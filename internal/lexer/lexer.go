@@ -115,10 +115,7 @@ func (l *Lexer) Next() token.Token {
 			l.advance()
 		}
 		text := l.src[start:l.off]
-		if k, ok := token.Keywords[text]; ok {
-			return token.Token{Kind: k, Text: text, Pos: p}
-		}
-		return token.Token{Kind: token.IDENT, Text: text, Pos: p}
+		return token.Token{Kind: token.LookupIdent(text), Text: text, Pos: p}
 	case isDigit(c):
 		return l.number(p, c)
 	case c == '\'':

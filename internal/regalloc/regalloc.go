@@ -26,8 +26,10 @@ type Allocation struct {
 	FrameSize int // total stack words incl. spills
 }
 
-// Verify enables the post-allocation overlap check (cheap; kept on).
-var Verify = true
+// Verify enables the post-allocation overlap check (cheap; kept on). A
+// constant, not a variable: package-level compiler state must be immutable
+// so concurrent compilations (core.CompileBatch) share nothing mutable.
+const Verify = true
 
 // Spill-shuttle registers reserved for the code generator.
 const (

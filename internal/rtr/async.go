@@ -145,11 +145,19 @@ func (rt *Runtime) schedule(region int, ks string) {
 		sh.mu.Unlock()
 		close(e.done)
 	}
+	// The quit-check and the send happen under closeMu's read side so they
+	// are atomic with respect to Close: either the job is enqueued before
+	// Close closes quit (and Close's drain fails it), or the closed quit is
+	// observed here and the claim is withdrawn. Without this a send racing
+	// Close could land after the drain, leaking the claim and the inflight
+	// count forever (WaitIdle would never return).
+	rt.closeMu.RLock()
 	select {
 	case <-rt.quit:
 		// Closed: the queue is no longer drained, so enqueueing would leak
 		// the claim forever. Withdraw it; callers keep running on the
 		// fallback tier.
+		rt.closeMu.RUnlock()
 		withdraw(errRuntimeClosed)
 		return
 	default:
@@ -158,7 +166,9 @@ func (rt *Runtime) schedule(region int, ks string) {
 	rt.inflight.Add(1)
 	select {
 	case rt.jobs <- stitchJob{region: region, key: ks, e: e, enq: time.Now()}:
+		rt.closeMu.RUnlock()
 	default:
+		rt.closeMu.RUnlock()
 		rt.inflight.Add(-1)
 		rt.queueRejects.Add(1)
 		withdraw(errAsyncQueueFull)
@@ -297,7 +307,10 @@ func (rt *Runtime) notePromote(d time.Duration) {
 // WaitIdle blocks until no background stitch is queued or running. Jobs
 // scheduled after WaitIdle starts are waited on too; quiesce the machines
 // first if you need a stable point. It is a diagnostics/test aid, not a
-// synchronization primitive.
+// synchronization primitive. Safe to call concurrently from any number of
+// goroutines and before, during or after Close: Close fails queued jobs
+// (decrementing the in-flight count), so a WaitIdle racing it still
+// terminates.
 func (rt *Runtime) WaitIdle() {
 	if rt.jobs == nil {
 		return
@@ -310,14 +323,22 @@ func (rt *Runtime) WaitIdle() {
 // Close stops the background workers and fails every still-queued stitch
 // (their entries are withdrawn so the keys can stitch again if the runtime
 // keeps being used inline). Close is idempotent and a no-op for runtimes
-// without AsyncStitch. Jobs already being stitched by a worker finish and
+// without AsyncStitch; it is safe to call concurrently from any number of
+// goroutines, concurrently with WaitIdle, and while attached machines are
+// still scheduling (late schedulers observe the closed runtime and stay on
+// the fallback tier). Jobs already being stitched by a worker finish and
 // publish normally.
 func (rt *Runtime) Close() {
 	if rt.quit == nil {
 		return
 	}
 	rt.closeOnce.Do(func() {
+		// Exclude in-flight enqueues (see schedule): after this unlock,
+		// every job that won the race is in the queue and every loser has
+		// withdrawn its claim, so the drain below is complete.
+		rt.closeMu.Lock()
 		close(rt.quit)
+		rt.closeMu.Unlock()
 		for {
 			select {
 			case job := <-rt.jobs:

@@ -1,0 +1,133 @@
+package rtr_test
+
+import (
+	"sync"
+	"testing"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+)
+
+// Close must be idempotent and safe from any number of goroutines, and
+// WaitIdle must terminate whether it runs before, during or after Close
+// (double-Close used to be unspecified).
+func TestCloseIdempotentConcurrent(t *testing.T) {
+	c, err := core.Compile(keyedSrc, core.Config{Dynamic: true, Optimize: true,
+		Cache: rtr.CacheOptions{AsyncStitch: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine(0)
+	for k := int64(1); k <= 8; k++ {
+		if got, err := m.Call("scale", k, 3); err != nil || got != k*3 {
+			t.Fatalf("scale(%d,3) = %d, %v", k, got, err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Runtime.Close()
+			c.Runtime.WaitIdle()
+			c.Runtime.Close()
+		}()
+	}
+	wg.Wait()
+	c.Runtime.Close()    // and again, sequentially
+	c.Runtime.WaitIdle() // after Close: must return immediately
+
+	// The runtime stays usable after Close: cold keys can no longer take
+	// the async path, but calls still complete correctly (fallback tier or
+	// inline stitch, depending on the schedule/Close race outcome).
+	for k := int64(100); k < 110; k++ {
+		if got, err := m.Call("scale", k, 7); err != nil || got != k*7 {
+			t.Fatalf("post-close scale(%d,7) = %d, %v", k, got, err)
+		}
+	}
+}
+
+// Close racing machines that are actively scheduling background stitches:
+// the schedule/Close handshake must never leak an in-flight claim (which
+// would hang WaitIdle forever) and every call must keep returning correct
+// results on whichever tier it lands on.
+func TestCloseRacesScheduling(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		c, err := core.Compile(keyedSrc, core.Config{Dynamic: true, Optimize: true,
+			Cache: rtr.CacheOptions{AsyncStitch: true, StitchQueue: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const machines = 4
+		ms := c.NewMachines(machines)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < machines; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				base := int64(round*10000 + i*1000)
+				for k := base + 1; k < base+200; k++ {
+					got, err := ms[i].Call("scale", k, 2)
+					if err != nil {
+						t.Errorf("scale(%d,2): %v", k, err)
+						return
+					}
+					if got != k*2 {
+						t.Errorf("scale(%d,2) = %d, want %d", k, got, k*2)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			c.Runtime.Close()
+		}()
+		close(start)
+		wg.Wait()
+		// The leak this guards against: a job enqueued after Close's drain
+		// leaves inflight > 0 and WaitIdle spins forever.
+		c.Runtime.WaitIdle()
+	}
+}
+
+// WaitIdle concurrent with Close on a runtime with queued work: both must
+// return (Close fails the queued jobs, releasing the in-flight count that
+// WaitIdle watches).
+func TestWaitIdleDuringClose(t *testing.T) {
+	c, err := core.Compile(keyedSrc, core.Config{Dynamic: true, Optimize: true,
+		Cache: rtr.CacheOptions{AsyncStitch: true, StitchWorkers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine(0)
+	for k := int64(1); k <= 64; k++ {
+		if _, err := m.Call("scale", k, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); c.Runtime.WaitIdle() }()
+	go func() { defer wg.Done(); c.Runtime.Close() }()
+	wg.Wait()
+}
+
+// Close and WaitIdle on a runtime without AsyncStitch are documented no-ops.
+func TestCloseWithoutAsync(t *testing.T) {
+	c, err := core.Compile(keyedSrc, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Runtime.Close()
+	c.Runtime.WaitIdle()
+	c.Runtime.Close()
+	m := c.NewMachine(0)
+	if got, err := m.Call("scale", 6, 7); err != nil || got != 42 {
+		t.Fatalf("scale(6,7) = %d, %v", got, err)
+	}
+}

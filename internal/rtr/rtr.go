@@ -131,9 +131,15 @@ type Runtime struct {
 	quit       chan struct{}
 	workerOnce sync.Once
 	closeOnce  sync.Once
-	inflight   atomic.Int64 // queued + running background stitches
-	genericMu  sync.Mutex
-	generics   []genericSlot
+	// closeMu serializes job enqueues against Close: schedule holds the
+	// read side across its quit-check and channel send, Close holds the
+	// write side while closing quit. Without it a send could land after
+	// Close drained the queue, leaking the claim and the inflight count
+	// (WaitIdle would spin forever).
+	closeMu   sync.RWMutex
+	inflight  atomic.Int64 // queued + running background stitches
+	genericMu sync.Mutex
+	generics  []genericSlot
 
 	asyncStitches atomic.Uint64
 	fallbackRuns  atomic.Uint64

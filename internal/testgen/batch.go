@@ -1,0 +1,92 @@
+// Batch-compilation properties: core.CompileBatch must be a pure
+// scheduling transform. Whatever the worker count, every program that
+// comes out of a batch must be byte-identical to a serial core.Compile of
+// the same source — same optimized IR, same machine code, same templates —
+// and must execute exactly like the unoptimized-IR reference. RunBatch is
+// the differential form used by the fixed-seed sweep and `make check`'s
+// smoke run; Fingerprint is the byte-identity probe shared with the
+// serving benchmark.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dyncc/internal/core"
+)
+
+// Fingerprint renders everything the compiler produced for one program in
+// a stable textual form: the optimized IR of every function, the
+// disassembly of every static code segment, and every region's template
+// dump. Two compilations are byte-identical iff their fingerprints match.
+func Fingerprint(c *core.Compiled) string {
+	var b strings.Builder
+	for _, f := range c.Module.Funcs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	for _, seg := range c.Output.Prog.Segs {
+		b.WriteString(seg.Disasm())
+		b.WriteByte('\n')
+	}
+	for _, r := range c.Output.Regions {
+		b.WriteString(r.Dump())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sweepCase derives the (c, x) parameters for one sweep seed, the same way
+// the fixed-seed differential tests do, so every batch property runs over
+// the familiar corpus.
+func sweepCase(seed int64) (cIn, xIn int64) {
+	r := rand.New(rand.NewSource(seed * 7919))
+	return int64(r.Intn(1024) - 512), int64(r.Intn(4000) - 2000)
+}
+
+// RunBatch generates the programs for seeds 1..n, compiles them serially
+// and through core.CompileBatch with the given worker count, and requires
+// (1) byte-identical artifacts per program and (2) that every
+// batch-compiled program matches the unoptimized-IR reference outputs.
+// A non-nil error describes the first divergence.
+func RunBatch(n int64, workers int) error {
+	cases := make([]*testCase, 0, n)
+	srcs := make([]string, 0, n)
+	for seed := int64(1); seed <= n; seed++ {
+		cIn, xIn := sweepCase(seed)
+		tc, err := buildCase(seed, cIn, xIn)
+		if err != nil {
+			return err
+		}
+		cases = append(cases, tc)
+		srcs = append(srcs, tc.src)
+	}
+
+	cfg := core.Config{Dynamic: true, Optimize: true}
+	serial := make([]string, len(srcs))
+	for i, src := range srcs {
+		c, err := core.Compile(src, cfg)
+		if err != nil {
+			return fmt.Errorf("serial compile (seed=%d): %w\n%s", cases[i].seed, err, src)
+		}
+		serial[i] = Fingerprint(c)
+	}
+
+	bcfg := cfg
+	bcfg.CompileWorkers = workers
+	br, err := core.CompileBatch(srcs, bcfg)
+	if err != nil {
+		return fmt.Errorf("batch compile: %w", err)
+	}
+	for i, c := range br.Programs {
+		if got := Fingerprint(c); got != serial[i] {
+			return fmt.Errorf("batch output diverges from serial compile (seed=%d, workers=%d)\n%s",
+				cases[i].seed, workers, srcs[i])
+		}
+		if err := cases[i].checkCompiled(fmt.Sprintf("batch[%d]", i), c, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package testgen
+
+import (
+	"testing"
+
+	"dyncc/internal/core"
+)
+
+// The fixed-seed differential sweep, run through CompileBatch with eight
+// workers: every generated program must come out of the batch compiler
+// byte-identical to a serial compile and must still match the
+// unoptimized-IR reference semantics. Short mode (the make check smoke)
+// trims the seed count to stay within its time budget.
+func TestBatchSweepFixedSeeds(t *testing.T) {
+	seeds := int64(150)
+	if testing.Short() {
+		seeds = 30
+	}
+	if err := RunBatch(seeds, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every tenant flavor must be deterministic per seed, compile cleanly, and
+// execute: the serving benchmark depends on Tenant never producing a
+// broken program.
+func TestTenantProgramsCompile(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 12
+	}
+	cfg := core.Config{Dynamic: true, Optimize: true}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := Tenant(seed)
+		if src != Tenant(seed) {
+			t.Fatalf("Tenant(%d) is not deterministic", seed)
+		}
+		c, err := core.Compile(src, cfg)
+		if err != nil {
+			t.Fatalf("Tenant(%d) does not compile: %v\n%s", seed, err, src)
+		}
+		m := c.NewMachine(0)
+		table := []int64{3, 9, 27, 81}
+		va, err := m.Alloc(int64(len(table)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(m.Mem[va:va+int64(len(table))], table)
+		for k := int64(0); k < 4; k++ {
+			if _, err := m.Call(TenantEntry, va, int64(len(table)), k, 17); err != nil {
+				t.Fatalf("Tenant(%d) serve(k=%d) failed: %v\n%s", seed, k, err, src)
+			}
+		}
+		c.Runtime.Close()
+	}
+}
+
+// Tenant programs must also be pure scheduling-wise: a batch compile of a
+// tenant corpus matches serial compiles byte for byte.
+func TestTenantBatchMatchesSerial(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 9
+	}
+	srcs := make([]string, n)
+	for i := range srcs {
+		srcs[i] = Tenant(int64(i))
+	}
+	cfg := core.Config{Dynamic: true, Optimize: true}
+	want := make([]string, n)
+	for i, src := range srcs {
+		c, err := core.Compile(src, cfg)
+		if err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+		want[i] = Fingerprint(c)
+	}
+	bcfg := cfg
+	bcfg.CompileWorkers = 8
+	br, err := core.CompileBatch(srcs, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range br.Programs {
+		if Fingerprint(c) != want[i] {
+			t.Errorf("tenant %d batch output diverges from serial", i)
+		}
+	}
+}

@@ -258,6 +258,13 @@ func (tc *testCase) checkSubject(name string, cfg core.Config) error {
 	if err != nil {
 		return fmt.Errorf("%s compile: %w\n%s", name, err, tc.src)
 	}
+	return tc.checkCompiled(name, p, cfg.Cache.AsyncStitch)
+}
+
+// checkCompiled runs an already-compiled program against the reference
+// outputs (the execution half of checkSubject; RunBatch reuses it for
+// batch-compiled programs).
+func (tc *testCase) checkCompiled(name string, p *core.Compiled, async bool) error {
 	defer p.Runtime.Close()
 	m := p.NewMachine(0)
 	va, err := m.Alloc(tc.n)
@@ -282,7 +289,7 @@ func (tc *testCase) checkSubject(name string, cfg core.Config) error {
 	if err := run(""); err != nil {
 		return err
 	}
-	if cfg.Cache.AsyncStitch {
+	if async {
 		p.Runtime.WaitIdle()
 		if err := run("warm "); err != nil {
 			return err

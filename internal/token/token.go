@@ -98,9 +98,18 @@ const (
 	KwKey           // key
 	KwUnrolled      // unrolled
 	KwDynamic       // dynamic (annotation on *, ->, [])
+
+	numKinds // sentinel: length of the interned name table
 )
 
-var kindNames = map[Kind]string{
+// The interned token tables below are package-level and immutable: they
+// are fully populated at init and only ever read afterwards, so any
+// number of lexers (and so any number of concurrent compilations —
+// core.CompileBatch) may share them without synchronization. Nothing may
+// write to them after init; the batch -race tests enforce this contract.
+
+// kindNames is the interned Kind→spelling table, indexed by Kind.
+var kindNames = [numKinds]string{
 	EOF: "EOF", ILLEGAL: "ILLEGAL",
 	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", CHAR: "CHAR", STRING: "STRING",
 	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
@@ -125,23 +134,37 @@ var kindNames = map[Kind]string{
 
 // String returns a human-readable name for the kind.
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	if k >= 0 && k < numKinds && kindNames[k] != "" {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Keywords maps identifier spellings to keyword kinds.
-var Keywords = map[string]Kind{
-	"int": KwInt, "unsigned": KwUnsigned, "float": KwFloat, "double": KwDouble,
-	"char": KwChar, "void": KwVoid, "struct": KwStruct,
-	"if": KwIf, "else": KwElse, "while": KwWhile, "do": KwDo, "for": KwFor,
-	"switch": KwSwitch, "case": KwCase, "default": KwDefault,
-	"break": KwBreak, "continue": KwContinue, "goto": KwGoto, "return": KwReturn,
-	"sizeof": KwSizeof, "typedef": KwTypedef, "extern": KwExtern,
-	"static": KwStatic, "const": KwConst,
-	"dynamicRegion": KwDynamicRegion, "key": KwKey,
-	"unrolled": KwUnrolled, "dynamic": KwDynamic,
+// keywords is the interned spelling→keyword table, derived from kindNames
+// at init (every kind from KwInt on is a keyword). Immutable after init;
+// look up through LookupIdent.
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind, numKinds-KwInt)
+	for k := KwInt; k < numKinds; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// LookupIdent resolves an identifier spelling against the interned keyword
+// table: the keyword's kind for reserved words, IDENT otherwise. Safe for
+// unsynchronized concurrent use.
+func LookupIdent(name string) Kind {
+	if k, ok := keywords[name]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether name is a reserved word of MiniC.
+func IsKeyword(name string) bool {
+	_, ok := keywords[name]
+	return ok
 }
 
 // Pos is a source position.

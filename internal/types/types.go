@@ -48,16 +48,44 @@ type Field struct {
 	Offset int // in words
 }
 
-// Predefined scalar types.
+// The types universe: predefined scalars and their pointer types are
+// package-level interned singletons, shared by every checker instance.
+// Like all Type values they are immutable after construction — the
+// compiler never writes to a Type it did not just build — so concurrent
+// compilations (core.CompileBatch) share them without synchronization;
+// the batch -race tests enforce this contract.
 var (
 	VoidType     = &Type{Kind: Void}
 	IntType      = &Type{Kind: Int}
 	UnsignedType = &Type{Kind: Unsigned}
 	FloatType    = &Type{Kind: Float}
+
+	// Interned pointer-to-scalar types, returned by PointerTo so the
+	// overwhelmingly common `int *` (and friends) costs no allocation per
+	// declaration. Nested pointers and pointers to aggregates are built
+	// fresh per call — they are per-compile anyway (struct types are owned
+	// by their checker).
+	intPtr      = &Type{Kind: Pointer, Elem: IntType}
+	unsignedPtr = &Type{Kind: Pointer, Elem: UnsignedType}
+	floatPtr    = &Type{Kind: Pointer, Elem: FloatType}
+	voidPtr     = &Type{Kind: Pointer, Elem: VoidType}
 )
 
-// PointerTo returns a pointer type to elem.
-func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+// PointerTo returns a pointer type to elem (interned for the predeclared
+// scalars).
+func PointerTo(elem *Type) *Type {
+	switch elem {
+	case IntType:
+		return intPtr
+	case UnsignedType:
+		return unsignedPtr
+	case FloatType:
+		return floatPtr
+	case VoidType:
+		return voidPtr
+	}
+	return &Type{Kind: Pointer, Elem: elem}
+}
 
 // ArrayOf returns an array type of n elements of elem.
 func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
