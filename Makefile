@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile bench-stitch bench-serve table2 clean
+.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile bench-stitch bench-serve bench-cold table2 clean
 
 all: check
 
@@ -13,7 +13,9 @@ all: check
 # sweep smoke and a short race-enabled serving run, the differential fuzzer
 # gets a short smoke run over the seed corpus plus fresh inputs, and the
 # suite runs once more with ir.Verify forced between all compiler passes
-# (check-passes).
+# (check-passes), and the persistent-store round trip (compile → persist →
+# fresh runtime serves byte-identical code from the store) runs under the
+# race detector alongside a short store differential sweep.
 check:
 	$(GO) build ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -22,6 +24,8 @@ check:
 	$(GO) test ./...
 	$(GO) test -race -timeout 120s ./internal/rtr
 	$(GO) test -race -short -timeout 120s -run 'TestStencil' ./internal/testgen
+	$(GO) test -race -timeout 120s -run 'TestPersistentStoreRoundTrip' .
+	$(GO) test -race -short -timeout 120s -run 'TestStoreFixedSeeds' ./internal/testgen
 	$(GO) test -race -short -timeout 180s -run 'TestCompileBatch|TestCompileRaceBatchVsSerial' ./internal/core
 	$(GO) test -short -timeout 120s -run 'TestBatchSweepFixedSeeds' ./internal/testgen
 	$(GO) test -race -short -timeout 180s -run 'TestServeSmall' ./internal/bench
@@ -83,6 +87,11 @@ bench-stitch:
 # and served under Zipf traffic, written to BENCH_7.json.
 bench-serve:
 	$(GO) run ./cmd/dynbench -serve -json BENCH_7.json
+
+# Restart-to-warm against the persistent (level-0) code cache: populated
+# vs empty on-disk store across working-set sizes, written to BENCH_8.json.
+bench-cold:
+	$(GO) run ./cmd/dynbench -coldstart -json BENCH_8.json
 
 # Regenerate the paper's tables on stdout.
 table2:

@@ -39,6 +39,12 @@
 // async stitching:
 //
 //	dynbench -serve -json BENCH_7.json
+//
+// -coldstart measures restart-to-warm against the persistent (level-0)
+// code cache: a fresh runtime serves a sweep of distinct keys against an
+// empty on-disk store versus one a previous process populated:
+//
+//	dynbench -coldstart -json BENCH_8.json
 package main
 
 import (
@@ -74,6 +80,7 @@ type jsonConfig struct {
 	Tenants    int    `json:"tenants,omitempty"`
 	Requests   int    `json:"requests,omitempty"`
 	Workers    int    `json:"compile_workers,omitempty"`
+	ColdKeys   int    `json:"cold_keys,omitempty"`
 }
 
 // jsonResults holds one section per benchmark that ran.
@@ -88,6 +95,7 @@ type jsonResults struct {
 	ColdBurst      *bench.ColdBurstResult   `json:"cold_burst,omitempty"`
 	StitchPerf     *bench.StitchPerfResult  `json:"stitch_perf,omitempty"`
 	Serve          *bench.ServeResult       `json:"serve,omitempty"`
+	ColdStart      *bench.ColdStartResult   `json:"cold_start,omitempty"`
 }
 
 // legacyReport is the pre-envelope flat schema, still accepted by
@@ -138,6 +146,8 @@ func main() {
 	ctIters := flag.Int("ctiters", 0, "compiles per program for -compiletime (0 = default 30)")
 	churnCap := flag.Int("churncap", 0, "cache cap (MaxEntries) for -cachechurn (0 = default 256)")
 	churnKeys := flag.Int("churnkeys", 0, "distinct keys for -cachechurn (0 = default 4096)")
+	coldstart := flag.Bool("coldstart", false, "run the restart-to-warm benchmark (persistent store, populated vs empty)")
+	coldkeys := flag.Int("coldkeys", 0, "single working-set size for -coldstart (0 = default sweep 64/256/1024)")
 	serve := flag.Bool("serve", false, "run the multi-tenant Zipf serving benchmark (batch compile + serve latency)")
 	tenants := flag.Int("tenants", 0, "tenant fleet size for -serve (0 = default 2000)")
 	requests := flag.Int("requests", 0, "total serve requests for -serve (0 = default 100000)")
@@ -254,6 +264,22 @@ func main() {
 		fmt.Println()
 	}
 
+	if *coldstart {
+		modes = append(modes, "coldstart")
+		cfgRec.ColdKeys = *coldkeys
+		var sizes []int
+		if *coldkeys > 0 {
+			sizes = []int{*coldkeys}
+		}
+		results.ColdStart, err = bench.ColdStart(sizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Cold start: restart-to-warm, empty vs populated persistent store")
+		bench.PrintColdStart(os.Stdout, results.ColdStart)
+		fmt.Println()
+	}
+
 	if *parallel > 0 {
 		modes = append(modes, "parallel")
 		cfgRec.Parallel = *parallel
@@ -291,6 +317,27 @@ func main() {
 	}
 }
 
+// parseHostBaseline decodes a -hostbaseline file in either accepted
+// schema: the shared {mode, config, results} envelope (host rows under
+// results.host) or the pre-envelope flat report (host rows at top level).
+// A file in neither schema — or an envelope without host rows — yields an
+// error rather than a silently empty baseline.
+func parseHostBaseline(data []byte) ([]*bench.HostResult, error) {
+	var rep jsonEnvelope
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Results.Host != nil {
+		return rep.Results.Host, nil
+	}
+	// Pre-envelope baselines kept the host rows at top level.
+	var old legacyReport
+	if err := json.Unmarshal(data, &old); err == nil && old.Host != nil {
+		return old.Host, nil
+	}
+	return nil, fmt.Errorf("no host rows found (neither envelope results.host nor legacy top-level host)")
+}
+
 // runHostPerf measures host ns per guest instruction (the interpreter-loop
 // cost the fusion pipeline and attribution plan optimize), optionally
 // comparing against a recorded baseline, and writes BENCH_2.json-style
@@ -306,17 +353,9 @@ func runHostPerf(basePath, jsonPath string, minDur time.Duration, fail func(erro
 		if err != nil {
 			fail(err)
 		}
-		var rep jsonEnvelope
-		if err := json.Unmarshal(data, &rep); err != nil {
+		baseline, err = parseHostBaseline(data)
+		if err != nil {
 			fail(fmt.Errorf("parse %s: %w", basePath, err))
-		}
-		baseline = rep.Results.Host
-		if baseline == nil {
-			// Pre-envelope baselines kept the host rows at top level.
-			var old legacyReport
-			if err := json.Unmarshal(data, &old); err == nil {
-				baseline = old.Host
-			}
 		}
 	}
 	cmp := bench.CompareHost(rows, baseline)

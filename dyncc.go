@@ -32,6 +32,7 @@ import (
 	"dyncc/internal/core"
 	"dyncc/internal/ir"
 	"dyncc/internal/rtr"
+	"dyncc/internal/segio"
 	"dyncc/internal/stitcher"
 	"dyncc/internal/tmpl"
 	"dyncc/internal/vm"
@@ -129,7 +130,39 @@ type CacheOptions struct {
 	// backpressure never blocks a caller.
 	StitchWorkers int
 	StitchQueue   int
+	// Store plugs in a persistent (level-0) code cache behind the shared
+	// cache: on a keyed-shareable miss the runtime consults the store for a
+	// previously persisted stitch of the same specialization before
+	// stitching, and publishes new stitches back asynchronously — a warm
+	// store turns process restarts into cache hits. See OpenDirStore for
+	// the on-disk implementation and DESIGN.md "Persistent cache tier".
+	Store CacheStore
+	// StoreQueue bounds the asynchronous store-publish queue (0 = default
+	// 256). When full, publishes are dropped (StoreErrors) — persistence
+	// is best-effort and never blocks the stitch path.
+	StoreQueue int
 }
+
+// CacheStore is the pluggable persistent-cache interface: a
+// content-addressed blob store keyed by digest. Get returns (nil, nil) on
+// a miss; Put must be atomic (concurrent readers see the old blob, the
+// new blob, or a miss — never a torn write); Delete is a no-op on absent
+// digests. Implementations must be safe for concurrent use.
+type CacheStore = segio.Store
+
+// DirStore is the on-disk CacheStore: one file per digest under a root
+// directory, written atomically (temp file + rename).
+type DirStore = segio.DirStore
+
+// MemStore is an in-memory CacheStore for tests and single-process use.
+type MemStore = segio.MemStore
+
+// OpenDirStore opens (creating if needed) an on-disk persistent cache
+// rooted at path.
+func OpenDirStore(path string) (*DirStore, error) { return segio.OpenDir(path) }
+
+// NewMemStore returns an empty in-memory CacheStore.
+func NewMemStore() *MemStore { return segio.NewMemStore() }
 
 // Program is a compiled MiniC program.
 type Program struct {
@@ -165,6 +198,8 @@ func (cfg Config) coreConfig() core.Config {
 			AsyncStitch:           cfg.Cache.AsyncStitch,
 			StitchWorkers:         cfg.Cache.StitchWorkers,
 			StitchQueue:           cfg.Cache.StitchQueue,
+			Store:                 cfg.Cache.Store,
+			StoreQueue:            cfg.Cache.StoreQueue,
 		},
 	}
 }
@@ -420,6 +455,15 @@ type RuntimeCacheStats struct {
 	// PromoteLatency histograms background schedule-to-publish latency:
 	// bucket i counts publishes in [2^(i-1), 2^i) nanoseconds.
 	PromoteLatency [rtr.PromoteBuckets]uint64
+
+	// Persistent (level-0) store tier (Config.Cache.Store; all zero
+	// without it). Store consults happen after the level-1 lookup was
+	// classified, so the lookup invariant above is untouched; each consult
+	// increments exactly one of StoreHits / StoreMisses / StoreErrors.
+	StoreHits   uint64 // stitch sites served by a persisted segment
+	StoreMisses uint64 // store consults that found nothing
+	StorePuts   uint64 // segments successfully published to the store
+	StoreErrors uint64 // store I/O or decode failures, plus dropped queue ops
 }
 
 // PromoteQuantile returns an upper bound on the q-quantile (0 < q <= 1) of
@@ -454,16 +498,23 @@ func (p *Program) CacheStats() RuntimeCacheStats {
 		QueueRejects:    cs.QueueRejects,
 		AsyncDiscards:   cs.AsyncDiscards,
 		PromoteLatency:  cs.PromoteLatency,
+		StoreHits:       cs.StoreHits,
+		StoreMisses:     cs.StoreMisses,
+		StorePuts:       cs.StorePuts,
+		StoreErrors:     cs.StoreErrors,
 	}
 }
 
 // WaitIdle blocks until every scheduled background stitch has been
-// published or discarded. A no-op unless AsyncStitch is set.
+// published or discarded and every queued store publish has drained. A
+// no-op unless AsyncStitch or Cache.Store is set.
 func (p *Program) WaitIdle() { p.c.Runtime.WaitIdle() }
 
 // Close stops the background stitch workers, failing any still-queued
 // stitches (their keys re-schedule if called again — machines keep
-// working). Idempotent; a no-op unless AsyncStitch is set.
+// working), and drains then stops the persistent-store publisher, so
+// every stitch published before Close is durably in the store. Idempotent;
+// a no-op unless AsyncStitch or Cache.Store is set.
 func (p *Program) Close() { p.c.Runtime.Close() }
 
 // RegionCacheChurn is one row of the per-region churn histogram (enable

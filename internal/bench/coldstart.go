@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+	"dyncc/internal/segio"
+)
+
+// Cold-start defaults: a sweep over working-set sizes so the result shows
+// how restart-to-warm scales with the number of persisted specializations.
+var coldStartSizes = []int{64, 256, 1024}
+
+// ColdStartRow is one working-set size of the restart benchmark: the wall
+// time for a fresh runtime (a simulated process restart) to serve each of
+// Keys distinct specializations once, against an empty store (every key
+// stitches) and against a store a previous process populated (every key is
+// served from disk).
+type ColdStartRow struct {
+	Keys int `json:"keys"`
+
+	// Restart-to-warm wall clock: total serve time for the key sweep, and
+	// per-call quantiles.
+	EmptyTotal     time.Duration `json:"empty_total_ns"`
+	PopulatedTotal time.Duration `json:"populated_total_ns"`
+	EmptyP50       time.Duration `json:"empty_p50_ns"`
+	EmptyP99       time.Duration `json:"empty_p99_ns"`
+	PopulatedP50   time.Duration `json:"populated_p50_ns"`
+	PopulatedP99   time.Duration `json:"populated_p99_ns"`
+	// Speedup is EmptyTotal / PopulatedTotal — how much faster the restart
+	// warms when the store already holds the working set.
+	Speedup float64 `json:"speedup"`
+
+	// Store accounting: the empty run must persist every key, the
+	// populated run must serve every key from the store without stitching.
+	StorePuts         uint64 `json:"store_puts"`
+	StoreHits         uint64 `json:"store_hits"`
+	PopulatedStitches uint64 `json:"populated_stitches"`
+	StoreBytes        int64  `json:"store_bytes"`
+}
+
+// ColdStartResult is the -coldstart report: restart-to-warm versus
+// persisted-cache size, populated versus empty store (the warm-restart
+// result the persistent tier exists for).
+type ColdStartResult struct {
+	Rows []ColdStartRow `json:"rows"`
+}
+
+// coldStartServe compiles the cold-burst kernel over store and serves keys
+// 1..keys once each on a fresh machine, returning the total and per-call
+// wall clock (sorted) and the cache stats after close (so publisher work is
+// drained and visible).
+func coldStartServe(store segio.Store, keys int) (time.Duration, []time.Duration, rtr.CacheStats, error) {
+	var zero rtr.CacheStats
+	c, err := core.Compile(coldSrc, core.Config{
+		Dynamic: true, Optimize: true,
+		Cache: rtr.CacheOptions{Store: store, StoreQueue: 4 * keys},
+	})
+	if err != nil {
+		return 0, nil, zero, fmt.Errorf("coldstart compile: %w", err)
+	}
+	m := c.NewMachine(0)
+	lats := make([]time.Duration, 0, keys)
+	t0 := time.Now()
+	for k := int64(1); k <= int64(keys); k++ {
+		tc := time.Now()
+		got, err := m.Call("burst", k, 3)
+		lat := time.Since(tc)
+		if err != nil {
+			c.Runtime.Close()
+			return 0, nil, zero, fmt.Errorf("coldstart key %d: %w", k, err)
+		}
+		if got != coldExpect(k, 3) {
+			c.Runtime.Close()
+			return 0, nil, zero, fmt.Errorf("burst(%d,3) = %d, want %d", k, got, coldExpect(k, 3))
+		}
+		lats = append(lats, lat)
+	}
+	total := time.Since(t0)
+	c.Runtime.Close() // drain the store publisher before the stats read
+	stats := c.Runtime.CacheStats()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return total, lats, stats, nil
+}
+
+// dirBytes sums the store directory's blob sizes.
+func dirBytes(store *segio.DirStore) int64 {
+	var total int64
+	n, err := store.Len()
+	if err != nil || n == 0 {
+		return 0
+	}
+	_ = walkSize(store.Root(), &total)
+	return total
+}
+
+func walkSize(root string, total *int64) error {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		p := root + string(os.PathSeparator) + e.Name()
+		if e.IsDir() {
+			if err := walkSize(p, total); err != nil {
+				return err
+			}
+			continue
+		}
+		if fi, err := e.Info(); err == nil {
+			*total += fi.Size()
+		}
+	}
+	return nil
+}
+
+// ColdStart measures restart-to-warm against the persistent (level-0) code
+// cache for each working-set size: one process serves the key sweep against
+// an empty on-disk store (stitching and persisting every specialization),
+// then a fresh runtime over the populated store serves the same sweep from
+// disk. nil sizes selects the standard sweep (64, 256, 1024 keys).
+func ColdStart(sizes []int) (*ColdStartResult, error) {
+	if len(sizes) == 0 {
+		sizes = coldStartSizes
+	}
+	res := &ColdStartResult{}
+	for _, keys := range sizes {
+		dir, err := os.MkdirTemp("", "dyncc-coldstart-*")
+		if err != nil {
+			return nil, err
+		}
+		store, err := segio.OpenDir(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		emptyTotal, emptyLats, ecs, err := coldStartServe(store, keys)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		if ecs.StoreHits != 0 || int(ecs.StorePuts) != keys {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("coldstart empty run: %d hits, %d/%d puts (errors %d)",
+				ecs.StoreHits, ecs.StorePuts, keys, ecs.StoreErrors)
+		}
+		popTotal, popLats, pcs, err := coldStartServe(store, keys)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		if int(pcs.StoreHits) != keys {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("coldstart populated run: %d/%d store hits (%d stitches, errors %d)",
+				pcs.StoreHits, keys, pcs.Stitches, pcs.StoreErrors)
+		}
+		row := ColdStartRow{
+			Keys:              keys,
+			EmptyTotal:        emptyTotal,
+			PopulatedTotal:    popTotal,
+			EmptyP50:          quantile(emptyLats, 0.50),
+			EmptyP99:          quantile(emptyLats, 0.99),
+			PopulatedP50:      quantile(popLats, 0.50),
+			PopulatedP99:      quantile(popLats, 0.99),
+			StorePuts:         ecs.StorePuts,
+			StoreHits:         pcs.StoreHits,
+			PopulatedStitches: pcs.Stitches,
+			StoreBytes:        dirBytes(store),
+		}
+		if popTotal > 0 {
+			row.Speedup = float64(emptyTotal) / float64(popTotal)
+		}
+		res.Rows = append(res.Rows, row)
+		os.RemoveAll(dir)
+	}
+	return res, nil
+}
+
+// PrintColdStart renders the restart-to-warm report.
+func PrintColdStart(w io.Writer, r *ColdStartResult) {
+	fmt.Fprintf(w, "restart-to-warm: serve every key once on a fresh runtime (wall clock)\n")
+	fmt.Fprintf(w, "  %6s  %12s  %12s  %8s  %10s  %10s  %9s\n",
+		"keys", "empty store", "populated", "speedup", "empty p99", "popul p99", "store KiB")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %6d  %12v  %12v  %7.2fx  %10v  %10v  %9.1f\n",
+			row.Keys, row.EmptyTotal.Round(time.Microsecond),
+			row.PopulatedTotal.Round(time.Microsecond), row.Speedup,
+			row.EmptyP99, row.PopulatedP99, float64(row.StoreBytes)/1024)
+	}
+}

@@ -207,6 +207,21 @@ func (rt *Runtime) runJob(job stitchJob) {
 	r := rt.Regions[job.region]
 	e := job.e
 
+	if rt.storeEnabled() {
+		// Level-0 consult, mirroring the inline winner (see stitchShared):
+		// a persisted specialization is adopted without re-deriving the
+		// table or stitching. Counted as neither an async stitch nor a
+		// discard — nothing was stitched. The digest uses a fresh
+		// generation load, not e.gen: e is shared with InvalidateKey's
+		// sibling sweep, which refreshes e.gen under the shard lock.
+		if seg := rt.storeLoad(job.region, rt.gens[job.region].Load(), job.key); seg != nil {
+			if rt.adoptStored(job.region, e, seg) {
+				rt.notePromote(time.Since(job.enq))
+			}
+			return
+		}
+	}
+
 	var (
 		seg   *vm.Segment
 		stats *stitcher.Stats
@@ -266,7 +281,9 @@ func (rt *Runtime) runJob(job stitchJob) {
 	}
 	rt.makeRoomLocked(sh, job.region, e.bytes)
 	sh.publishLocked(rt, e)
+	putGen := e.gen // snapshot under the lock; sibling sweeps may refresh it
 	sh.mu.Unlock()
+	rt.storePut(job.region, putGen, job.key, seg)
 	rt.notePromote(time.Since(job.enq))
 	rt.reclaim(job.region)
 	rt.keepStitched(job.region, seg)
@@ -304,31 +321,36 @@ func (rt *Runtime) notePromote(d time.Duration) {
 	rt.promoteHist[b].Add(1)
 }
 
-// WaitIdle blocks until no background stitch is queued or running. Jobs
-// scheduled after WaitIdle starts are waited on too; quiesce the machines
-// first if you need a stable point. It is a diagnostics/test aid, not a
-// synchronization primitive. Safe to call concurrently from any number of
-// goroutines and before, during or after Close: Close fails queued jobs
-// (decrementing the in-flight count), so a WaitIdle racing it still
-// terminates.
+// WaitIdle blocks until no background stitch or store operation is queued
+// or running. Jobs scheduled after WaitIdle starts are waited on too;
+// quiesce the machines first if you need a stable point. It is a
+// diagnostics/test aid, not a synchronization primitive. Safe to call
+// concurrently from any number of goroutines and before, during or after
+// Close: Close fails queued jobs (decrementing the in-flight count) and
+// drains the store queue, so a WaitIdle racing it still terminates.
 func (rt *Runtime) WaitIdle() {
-	if rt.jobs == nil {
-		return
-	}
-	for rt.inflight.Load() > 0 {
+	for (rt.jobs != nil && rt.inflight.Load() > 0) ||
+		(rt.storeOps != nil && rt.storeInflight.Load() > 0) {
 		time.Sleep(20 * time.Microsecond)
 	}
 }
 
 // Close stops the background workers and fails every still-queued stitch
 // (their entries are withdrawn so the keys can stitch again if the runtime
-// keeps being used inline). Close is idempotent and a no-op for runtimes
-// without AsyncStitch; it is safe to call concurrently from any number of
-// goroutines, concurrently with WaitIdle, and while attached machines are
-// still scheduling (late schedulers observe the closed runtime and stay on
-// the fallback tier). Jobs already being stitched by a worker finish and
-// publish normally.
+// keeps being used inline), then shuts down the persistent-store publisher,
+// draining its queue by *executing* the pending writes — a clean Close
+// persists every stitch the store accepted (see closeStore). Close is
+// idempotent and a no-op for runtimes without AsyncStitch or a Store; it
+// is safe to call concurrently from any number of goroutines, concurrently
+// with WaitIdle, and while attached machines are still scheduling (late
+// schedulers observe the closed runtime and stay on the fallback tier).
+// Jobs already being stitched by a worker finish and publish normally.
 func (rt *Runtime) Close() {
+	rt.closeAsync()
+	rt.closeStore()
+}
+
+func (rt *Runtime) closeAsync() {
 	if rt.quit == nil {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sync"
 
+	"dyncc/internal/segio"
 	"dyncc/internal/stitcher"
 	"dyncc/internal/tmpl"
 	"dyncc/internal/vm"
@@ -94,6 +95,20 @@ type CacheOptions struct {
 	// not enqueued (backpressure, counted in CacheStats.QueueRejects);
 	// their callers stay on the fallback tier and a later miss retries.
 	StitchQueue int
+
+	// Store, when non-nil, adds a persistent content-addressed level-0
+	// tier behind the shared cache: on a keyed-shareable miss the stitch
+	// site consults the store by digest before stitching, and successful
+	// stitches are published back asynchronously, so a restarted server
+	// (or another process sharing the store) skips re-stitching its hot
+	// set. The hot path never blocks on store I/O. See store.go for the
+	// digest derivation and invalidation interplay, and segio.OpenDir for
+	// the on-disk implementation.
+	Store segio.Store
+	// StoreQueue bounds the pending store-publish queue
+	// (0 = DefaultStoreQueue). A full queue drops the operation, counted
+	// in CacheStats.StoreErrors.
+	StoreQueue int
 }
 
 // cacheKey identifies one specialization in the shared cache.
@@ -271,10 +286,28 @@ func (rt *Runtime) stitchShared(m *vm.Machine, region int, key string,
 		// rather than re-running a stitch that would fail identically.
 		return e.seg, nil, e.err
 	}
-	e := &entry{key: ck, gen: rt.gens[region].Load(),
+	claimGen := rt.gens[region].Load()
+	e := &entry{key: ck, gen: claimGen,
 		done: make(chan struct{}), slot: -1}
 	sh.entries[ck] = e
 	sh.mu.Unlock()
+	// From here e is shared state: InvalidateKey's sibling sweep may
+	// refresh e.gen under the shard lock, so unlocked reads use the local
+	// claimGen snapshot instead.
+
+	if rt.storeEnabled() {
+		// Level-0: a previous process (or an earlier generation of this
+		// one) may have persisted this exact specialization. The read is
+		// synchronous but happens only here, after winning the
+		// singleflight claim — concurrent missers coalesce onto it, and
+		// the warm lookup path never sees the store. Adoption is free:
+		// no stitch is counted and no stitch cost charged (stats == nil),
+		// exactly like adopting another machine's stitch.
+		if seg := rt.storeLoad(region, claimGen, key); seg != nil {
+			rt.adoptStored(region, e, seg)
+			return seg, nil, nil
+		}
+	}
 
 	seg, stats, err := stitcher.Stitch(r, m.Mem, tbl, m.Prog.Segs[r.FuncID], rt.Opts.Stitcher)
 	e.seg, e.err = seg, err
@@ -316,7 +349,13 @@ func (rt *Runtime) stitchShared(m *vm.Machine, region int, key string,
 	}
 	rt.makeRoomLocked(sh, region, e.bytes)
 	sh.publishLocked(rt, e)
+	putGen := e.gen // snapshot under the lock; sibling sweeps may refresh it
 	sh.mu.Unlock()
+
+	// Publish back to the persistent tier asynchronously (post-fence: a
+	// segment the invalidation branch above declined to retain is never
+	// persisted either).
+	rt.storePut(region, putGen, key, seg)
 
 	rt.reclaim(region)
 	return seg, stats, nil

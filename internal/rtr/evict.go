@@ -48,16 +48,26 @@ func (l *evictLog) add(k cacheKey) {
 }
 
 // remove reports whether k was logged, forgetting it (a re-stitched key is
-// resident again; it re-enters the log if evicted again).
+// resident again; it re-enters the log if evicted again). The freed slot is
+// reclaimed by swapping the last key in — an earlier version left a
+// permanent dead hole counting against evictLogSize, so a shard cycling
+// restitches shrank the log's effective window (and undercounted
+// Restitches) a little more with every removal.
 func (l *evictLog) remove(k cacheKey) bool {
 	i, ok := l.idx[k]
 	if !ok {
 		return false
 	}
-	// Leave a hole rather than compacting: mark the slot dead by clearing
-	// its index entry and storing a key that can never recur (region -1).
 	delete(l.idx, k)
-	l.keys[i] = cacheKey{region: -1}
+	last := len(l.keys) - 1
+	if i != last {
+		l.keys[i] = l.keys[last]
+		l.idx[l.keys[i]] = i
+	}
+	l.keys = l.keys[:last]
+	// next only indexes the ring when it is full (len == evictLogSize), and
+	// removal just shrank it, so any next in [0, evictLogSize) stays valid
+	// by the time the ring refills; no adjustment needed.
 	return true
 }
 
@@ -68,7 +78,9 @@ func (sh *shard) publishLocked(rt *Runtime, e *entry) {
 	sh.ring = append(sh.ring, e)
 	rt.resident.Add(1)
 	rt.residentBytes.Add(e.bytes)
-	if r := e.key.region; r < len(rt.regionResident) {
+	// r >= 0: region -1 is a documented segment sentinel; an entry carrying
+	// it must not panic the accounting (it simply isn't tracked per region).
+	if r := e.key.region; r >= 0 && r < len(rt.regionResident) {
 		rt.regionResident[r].Add(1)
 		rt.regionBytes[r].Add(e.bytes)
 	}
@@ -94,7 +106,7 @@ func (sh *shard) dropLocked(rt *Runtime, e *entry) {
 	e.slot = -1
 	rt.resident.Add(-1)
 	rt.residentBytes.Add(-e.bytes)
-	if r := e.key.region; r < len(rt.regionResident) {
+	if r := e.key.region; r >= 0 && r < len(rt.regionResident) {
 		rt.regionResident[r].Add(-1)
 		rt.regionBytes[r].Add(-e.bytes)
 	}
@@ -151,13 +163,13 @@ func (rt *Runtime) overBytes(add int64) bool {
 
 func (rt *Runtime) regionOverEntries(region int) bool {
 	max := rt.Opts.Cache.MaxEntriesPerRegion
-	return max > 0 && region < len(rt.regionResident) &&
+	return max > 0 && region >= 0 && region < len(rt.regionResident) &&
 		rt.regionResident[region].Load() >= int64(max)
 }
 
 func (rt *Runtime) regionOverBytes(region int, add int64) bool {
 	max := rt.Opts.Cache.MaxCodeBytesPerRegion
-	return max > 0 && region < len(rt.regionBytes) &&
+	return max > 0 && region >= 0 && region < len(rt.regionBytes) &&
 		rt.regionBytes[region].Load()+add > max
 }
 
@@ -219,7 +231,7 @@ func (rt *Runtime) reclaim(region int) {
 		overGlobal := rt.overBytes(0) ||
 			(c.MaxEntries > 0 && rt.resident.Load() > int64(c.MaxEntries))
 		overRegion := rt.regionOverBytes(region, 0) ||
-			(c.MaxEntriesPerRegion > 0 && region < len(rt.regionResident) &&
+			(c.MaxEntriesPerRegion > 0 && region >= 0 && region < len(rt.regionResident) &&
 				rt.regionResident[region].Load() > int64(c.MaxEntriesPerRegion))
 		if !overGlobal && !overRegion {
 			return

@@ -62,6 +62,17 @@ type CacheStats struct {
 	// PromoteLatency histograms the schedule-to-publish latency of
 	// background stitches: bucket i counts publishes in [2^(i-1), 2^i) ns.
 	PromoteLatency [PromoteBuckets]uint64
+
+	// Persistent (level-0) store tier (CacheOptions.Store; all zero
+	// without it). These extend — they do not alter — the lookup invariant
+	// above: store consults happen at stitch sites, after the level-1
+	// lookup was already classified, and each consult increments exactly
+	// one of StoreHits / StoreMisses / StoreErrors. A StoreHit is a stitch
+	// avoided, so Stitches does not count it.
+	StoreHits   uint64 // stitch sites served by a persisted segment
+	StoreMisses uint64 // store consults that found nothing
+	StorePuts   uint64 // segments successfully published to the store
+	StoreErrors uint64 // store I/O or decode failures, plus dropped queue ops
 }
 
 // PromoteQuantile returns an upper bound on the q-quantile (0 < q <= 1) of
@@ -129,6 +140,10 @@ func (rt *Runtime) CacheStats() CacheStats {
 	cs.FallbackRuns = rt.fallbackRuns.Load()
 	cs.QueueRejects = rt.queueRejects.Load()
 	cs.AsyncDiscards = rt.asyncDiscards.Load()
+	cs.StoreHits = rt.storeHits.Load()
+	cs.StoreMisses = rt.storeMisses.Load()
+	cs.StorePuts = rt.storePutCount.Load()
+	cs.StoreErrors = rt.storeErrors.Load()
 	for i := range rt.promoteHist {
 		cs.PromoteLatency[i] = rt.promoteHist[i].Load()
 	}

@@ -146,6 +146,25 @@ type Runtime struct {
 	queueRejects  atomic.Uint64
 	asyncDiscards atomic.Uint64
 	promoteHist   [PromoteBuckets]atomic.Uint64
+
+	// Persistent (level-0) store state (see store.go). storeOps and
+	// storeQuit are nil unless CacheOptions.Store is set; everything here
+	// is inert otherwise.
+	storeOps       chan storeOp
+	storeQuit      chan struct{}
+	storeOnce      sync.Once
+	storeCloseOnce sync.Once
+	// storeCloseMu serializes publish enqueues against closeStore, exactly
+	// as closeMu does for the async stitch queue.
+	storeCloseMu  sync.RWMutex
+	storeInflight atomic.Int64 // queued + running store operations
+	storeFpMu     sync.Mutex
+	storeFp       [][]byte // per-region template fingerprints, lazily derived
+
+	storeHits     atomic.Uint64
+	storeMisses   atomic.Uint64
+	storePutCount atomic.Uint64
+	storeErrors   atomic.Uint64
 }
 
 // New creates a runtime for prog with the given region metadata.
@@ -175,6 +194,15 @@ func New(prog *vm.Program, regions []*tmpl.Region, opts Options) *Runtime {
 		rt.quit = make(chan struct{})
 		rt.generics = make([]genericSlot, len(regions))
 	}
+	if opts.Cache.Store != nil {
+		q := opts.Cache.StoreQueue
+		if q <= 0 {
+			q = DefaultStoreQueue
+		}
+		rt.storeOps = make(chan storeOp, q)
+		rt.storeQuit = make(chan struct{})
+		rt.storeFp = make([][]byte, len(regions))
+	}
 	return rt
 }
 
@@ -191,6 +219,12 @@ func (rt *Runtime) Invalidate(region int) {
 	}
 	rt.gens[region].Add(1)
 	rt.invalidations.Add(1)
+	// Persisted digests of the old generation become unreachable (the
+	// generation participates in the digest), but generation counters are
+	// process-local: delete the digests of the entries this sweep can see
+	// so a future process restarting at the old generation cannot
+	// resurrect them (best-effort; see store.go).
+	var stale []storeOp
 	for i := range rt.shards {
 		sh := &rt.shards[i]
 		sh.mu.Lock()
@@ -200,6 +234,9 @@ func (rt *Runtime) Invalidate(region int) {
 			}
 			select {
 			case <-e.done:
+				if rt.storeEnabled() && e.err == nil {
+					stale = append(stale, storeOp{region: region, gen: e.gen, key: ck.key})
+				}
 				sh.dropLocked(rt, e)
 			default:
 				// In-flight: unmap it so the publish path sees it was
@@ -208,6 +245,9 @@ func (rt *Runtime) Invalidate(region int) {
 			}
 		}
 		sh.mu.Unlock()
+	}
+	for _, op := range stale {
+		rt.enqueueStore(op)
 	}
 }
 
@@ -226,6 +266,12 @@ func (rt *Runtime) InvalidateKey(region int, keyVals ...int64) {
 	// generation and declines to retain.
 	gen := rt.gens[region].Add(1)
 	rt.invalidations.Add(1)
+	if rt.storeEnabled() {
+		// Orphaning by generation only protects this process; the persisted
+		// blob must go too, or a restarted process (generation counter back
+		// at an old value) could serve the invalidated specialization.
+		rt.storeDeleteGen(region, gen-1, ck.key)
+	}
 	for i := range rt.shards {
 		sh := &rt.shards[i]
 		sh.mu.Lock()

@@ -1,0 +1,86 @@
+package segio_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dyncc/internal/core"
+	"dyncc/internal/segio"
+	"dyncc/internal/vm"
+)
+
+// fuzzSeedSource is a small keyed-shareable program whose stitched segment
+// seeds the corpus with a real emission (jump-table-free but with consts,
+// fused ops and region attribution as the stitcher actually produces them).
+const fuzzSeedSource = `
+int poly(int a, int b, int x) {
+    int r;
+    dynamicRegion key(a, b) () {
+        r = a * x + b;
+    }
+    return r;
+}`
+
+// FuzzDecode drives Decode with arbitrary bytes. Three properties:
+//
+//  1. Decode never panics, whatever the input.
+//  2. If Decode succeeds, re-encoding the result is a fixpoint:
+//     Decode(Encode(seg)) succeeds and Encode of that is byte-identical.
+//     (For inputs Encode itself produced this means full round-trip
+//     identity; a fuzzer-crafted non-canonical input may re-encode
+//     differently once, but the canonical form must then be stable.)
+//  3. Corrupt inputs fail with ErrCorrupt/ErrVersion-wrapped errors, never
+//     a silent zero segment — checked implicitly: any successful decode
+//     must satisfy (2).
+func FuzzDecode(f *testing.F) {
+	for _, seg := range corpusSegments(f) {
+		enc := segio.Encode(seg)
+		f.Add(enc)
+		// Truncations, bit flips and a version bump seed the interesting
+		// failure shapes so the fuzzer starts near the cliffs.
+		f.Add(enc[:len(enc)/2])
+		flipped := append([]byte{}, enc...)
+		flipped[len(flipped)/2] ^= 0x10
+		f.Add(flipped)
+		bumped := append([]byte{}, enc...)
+		bumped[4] = segio.Version + 1
+		f.Add(bumped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("dseg"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := segio.Decode(data)
+		if err != nil {
+			return
+		}
+		enc := segio.Encode(seg)
+		seg2, err := segio.Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(segio.Encode(seg2), enc) {
+			t.Fatal("canonical encoding is not a re-encode fixpoint")
+		}
+	})
+}
+
+func corpusSegments(f *testing.F) []*vm.Segment {
+	f.Helper()
+	segs := []*vm.Segment{fullSegment(), minSegment()}
+	cfg := core.Config{Dynamic: true, Optimize: true}
+	cfg.Cache.KeepStitched = true
+	p, err := core.Compile(fuzzSeedSource, cfg)
+	if err != nil {
+		f.Fatalf("corpus compile: %v", err)
+	}
+	defer p.Runtime.Close()
+	m := p.NewMachine(0)
+	if _, err := m.Call("poly", 3, 5, 7); err != nil {
+		f.Fatalf("corpus run: %v", err)
+	}
+	for _, kept := range p.Runtime.Stitched {
+		segs = append(segs, kept...)
+	}
+	return segs
+}

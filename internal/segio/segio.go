@@ -1,0 +1,318 @@
+// Package segio serializes stitched vm.Segments into a stable, versioned
+// binary form so they can live outside the process that stitched them —
+// the substrate of the persistent (level-0) code cache tier.
+//
+// A shareable region's stitched segment is a pure function of (template
+// bytes, key bytes): the same templates and the same key tuple always
+// stitch bit-identical code. That makes segments content-addressable — a
+// digest over (template fingerprint, generation, key tuple, encoding
+// version) names the segment forever, and any process holding the same
+// program can adopt the bytes instead of re-stitching (see
+// internal/rtr/store.go for the runtime wiring and DESIGN.md "Persistent
+// cache tier").
+//
+// # Encoding
+//
+// The format is deliberately boring: a 4-byte magic, a uvarint format
+// version, a varint-packed payload covering every semantically meaningful
+// Segment field (code, constant pool, jump tables, region attribution
+// maps), and a trailing FNV-1a checksum of the payload so torn or
+// bit-rotted store files are detected before they decode into garbage.
+// The lazily derived execution plan is NOT encoded — it is a pure
+// function of the segment and is rebuilt on load (Decode calls Prepare).
+// The Parent pointer is likewise excluded: it names a function segment of
+// the loading process's program and is re-linked by the runtime.
+//
+// Version discipline: any change to the Inst layout, the opcode
+// numbering, or this encoding MUST bump Version. The digest derivation
+// includes Version, so old store entries are orphaned (never misread) by
+// an upgrade.
+package segio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dyncc/internal/vm"
+)
+
+// Version is the encoding format version. Bump on any change to the wire
+// layout, vm.Inst's fields, or opcode numbering.
+const Version = 1
+
+// magic identifies a segio-encoded segment file.
+var magic = [4]byte{'d', 's', 'e', 'g'}
+
+// ErrCorrupt is wrapped by every Decode failure caused by malformed input
+// (bad magic, checksum mismatch, truncation, out-of-range counts).
+var ErrCorrupt = errors.New("segio: corrupt segment encoding")
+
+// ErrVersion is wrapped by Decode when the input is a well-formed segio
+// file of an unsupported format version.
+var ErrVersion = errors.New("segio: unsupported encoding version")
+
+// fnv1a is the checksum over the payload bytes (FNV-1a 64).
+func fnv1a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime64
+	}
+	return h
+}
+
+// Encode renders seg in the versioned wire format. The output is
+// deterministic: two calls on equal segments yield equal bytes, and
+// Encode(Decode(b)) == b for any b Encode produced — the byte-identity
+// property the persistent cache tier rests on.
+func Encode(seg *vm.Segment) []byte {
+	var b []byte
+	b = append(b, magic[:]...)
+	b = binary.AppendUvarint(b, Version)
+	payloadStart := len(b)
+
+	b = appendString(b, seg.Name)
+	b = binary.AppendVarint(b, int64(seg.Region))
+	b = appendBool(b, seg.Stitched)
+	b = binary.AppendVarint(b, int64(seg.FrameSize))
+	b = binary.AppendVarint(b, int64(seg.NumParams))
+
+	b = binary.AppendUvarint(b, uint64(len(seg.Code)))
+	for _, in := range seg.Code {
+		b = append(b, byte(in.Op), byte(in.Rd), byte(in.Rs), byte(in.Rt),
+			byte(in.Sub), in.XCost, in.XInsts)
+		b = binary.AppendVarint(b, in.Imm)
+		b = binary.AppendVarint(b, int64(in.Target))
+	}
+	b = appendInt64s(b, seg.Consts)
+	b = binary.AppendUvarint(b, uint64(len(seg.JumpTables)))
+	for _, t := range seg.JumpTables {
+		b = binary.AppendUvarint(b, uint64(len(t)))
+		for _, v := range t {
+			b = binary.AppendVarint(b, int64(v))
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(seg.RegionOf)))
+	for _, v := range seg.RegionOf {
+		b = binary.AppendVarint(b, int64(v))
+	}
+	b = binary.AppendUvarint(b, uint64(len(seg.SetupOf)))
+	for _, v := range seg.SetupOf {
+		b = appendBool(b, v)
+	}
+	b = binary.AppendUvarint(b, uint64(len(seg.RegionEntry)))
+	for _, v := range seg.RegionEntry {
+		b = binary.AppendVarint(b, int64(v))
+	}
+
+	var sum [8]byte
+	binary.BigEndian.PutUint64(sum[:], fnv1a(b[payloadStart:]))
+	return append(b, sum[:]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendInt64s(b []byte, vs []int64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = binary.AppendVarint(b, v)
+	}
+	return b
+}
+
+// decoder is a bounds-checked reader over the payload. Every read error
+// sets err once; subsequent reads are no-ops, so parse code stays linear.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b) {
+		d.fail("truncated: want %d bytes, have %d", n, len(d.b))
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) bool() bool {
+	b := d.bytes(1)
+	if d.err != nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	d.fail("bad bool byte %d", b[0])
+	return false
+}
+
+// count reads a list length and sanity-checks it against the remaining
+// payload (each element consumes at least min bytes), so a fuzzed length
+// can never drive a giant allocation.
+func (d *decoder) count(min int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n > uint64(len(d.b)/min)+1 {
+		d.fail("count %d exceeds remaining payload (%d bytes)", n, len(d.b))
+		return 0
+	}
+	return int(n)
+}
+
+// Decode parses a segio-encoded segment. It never panics on malformed
+// input: truncated, bit-flipped or wrong-version bytes yield an error
+// wrapping ErrCorrupt or ErrVersion. The returned segment's execution
+// plan is rebuilt (Prepare); Parent is nil and must be re-linked by the
+// caller before the segment can XFER back into its function.
+func Decode(data []byte) (*vm.Segment, error) {
+	if len(data) < len(magic)+1+8 {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	rest := data[4:]
+	ver, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: truncated version", ErrCorrupt)
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: got v%d, support v%d", ErrVersion, ver, Version)
+	}
+	payload := rest[n : len(rest)-8]
+	want := binary.BigEndian.Uint64(rest[len(rest)-8:])
+	if got := fnv1a(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (%#x != %#x)", ErrCorrupt, got, want)
+	}
+
+	d := &decoder{b: payload}
+	seg := &vm.Segment{}
+	seg.Name = string(d.bytes(d.count(1)))
+	seg.Region = int(d.varint())
+	seg.Stitched = d.bool()
+	seg.FrameSize = int(d.varint())
+	seg.NumParams = int(d.varint())
+
+	if n := d.count(9); n > 0 {
+		seg.Code = make([]vm.Inst, n)
+		for i := range seg.Code {
+			hdr := d.bytes(7)
+			if d.err != nil {
+				break
+			}
+			in := &seg.Code[i]
+			in.Op = vm.Op(hdr[0])
+			in.Rd, in.Rs, in.Rt = vm.Reg(hdr[1]), vm.Reg(hdr[2]), vm.Reg(hdr[3])
+			in.Sub = vm.Op(hdr[4])
+			in.XCost, in.XInsts = hdr[5], hdr[6]
+			in.Imm = d.varint()
+			in.Target = int(d.varint())
+		}
+	}
+	if n := d.count(1); n > 0 {
+		seg.Consts = make([]int64, n)
+		for i := range seg.Consts {
+			seg.Consts[i] = d.varint()
+		}
+	}
+	if n := d.count(1); n > 0 {
+		seg.JumpTables = make([][]int, n)
+		for i := range seg.JumpTables {
+			m := d.count(1)
+			if d.err != nil {
+				break
+			}
+			t := make([]int, m)
+			for j := range t {
+				t[j] = int(d.varint())
+			}
+			seg.JumpTables[i] = t
+		}
+	}
+	if n := d.count(1); n > 0 {
+		seg.RegionOf = make([]int16, n)
+		for i := range seg.RegionOf {
+			seg.RegionOf[i] = int16(d.varint())
+		}
+	}
+	if n := d.count(1); n > 0 {
+		seg.SetupOf = make([]bool, n)
+		for i := range seg.SetupOf {
+			seg.SetupOf[i] = d.bool()
+		}
+	}
+	if n := d.count(1); n > 0 {
+		seg.RegionEntry = make([]int32, n)
+		for i := range seg.RegionEntry {
+			seg.RegionEntry[i] = int32(d.varint())
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(d.b))
+	}
+	seg.Prepare()
+	return seg, nil
+}

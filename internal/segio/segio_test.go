@@ -1,0 +1,218 @@
+// Tests live in segio_test so the fuzz harness can build its corpus with
+// internal/core (which depends on rtr, which depends on segio).
+package segio_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dyncc/internal/segio"
+	"dyncc/internal/vm"
+)
+
+// fullSegment exercises every encoded field, including the optional
+// region-attribution maps only merged-function segments carry.
+func fullSegment() *vm.Segment {
+	return &vm.Segment{
+		Name:      "r0.stitched",
+		Region:    3,
+		Stitched:  true,
+		FrameSize: 12,
+		NumParams: 4,
+		Code: []vm.Inst{
+			{Op: vm.LI, Rd: 1, Imm: -77},
+			{Op: vm.ADD, Rd: 2, Rs: 1, Rt: 3},
+			{Op: vm.LDC, Rd: 4, Imm: 1},
+			{Op: vm.CMPBR, Rd: 1, Rs: 2, Rt: 3, Sub: vm.SLT, Target: 5},
+			{Op: vm.ADDI, Rd: 2, Rs: 2, Imm: 1 << 40, XCost: 3, XInsts: 2},
+			{Op: vm.RET, Rs: 2},
+		},
+		Consts:      []int64{0, -1, 1 << 62, -(1 << 62)},
+		JumpTables:  [][]int{{0, 3, 5}, {}, {2}},
+		RegionOf:    []int16{-1, -1, 0, 0, 1, -1},
+		SetupOf:     []bool{false, true, false, false, true, false},
+		RegionEntry: []int32{2, 4},
+	}
+}
+
+// minSegment is the degenerate case: everything empty or zero.
+func minSegment() *vm.Segment {
+	return &vm.Segment{Name: "", Region: -1}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, seg := range []*vm.Segment{fullSegment(), minSegment()} {
+		enc := segio.Encode(seg)
+		dec, err := segio.Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", seg.Name, err)
+		}
+		if dec.Parent != nil {
+			t.Fatalf("decoded %q carries a Parent", seg.Name)
+		}
+		if dec.Name != seg.Name || dec.Region != seg.Region ||
+			dec.Stitched != seg.Stitched || dec.FrameSize != seg.FrameSize ||
+			dec.NumParams != seg.NumParams {
+			t.Fatalf("decoded %q scalar fields differ: %+v", seg.Name, dec)
+		}
+		// The strong property the store tier rests on: re-encoding the
+		// decoded segment reproduces the input byte for byte.
+		if !bytes.Equal(segio.Encode(dec), enc) {
+			t.Fatalf("Encode(Decode(enc)) != enc for %q", seg.Name)
+		}
+	}
+}
+
+func TestRoundTripFields(t *testing.T) {
+	seg := fullSegment()
+	dec, err := segio.Decode(segio.Encode(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Code) != len(seg.Code) {
+		t.Fatalf("code length %d != %d", len(dec.Code), len(seg.Code))
+	}
+	for i := range seg.Code {
+		if dec.Code[i] != seg.Code[i] {
+			t.Fatalf("code[%d]: %+v != %+v", i, dec.Code[i], seg.Code[i])
+		}
+	}
+	for i, v := range seg.Consts {
+		if dec.Consts[i] != v {
+			t.Fatalf("consts[%d]: %d != %d", i, dec.Consts[i], v)
+		}
+	}
+	if len(dec.JumpTables) != len(seg.JumpTables) {
+		t.Fatalf("jump tables %d != %d", len(dec.JumpTables), len(seg.JumpTables))
+	}
+	for i, tab := range seg.JumpTables {
+		if len(dec.JumpTables[i]) != len(tab) {
+			t.Fatalf("jump table %d length differs", i)
+		}
+		for j, v := range tab {
+			if dec.JumpTables[i][j] != v {
+				t.Fatalf("jump table %d[%d]: %d != %d", i, j, dec.JumpTables[i][j], v)
+			}
+		}
+	}
+	for i, v := range seg.RegionOf {
+		if dec.RegionOf[i] != v {
+			t.Fatalf("regionOf[%d]: %d != %d", i, dec.RegionOf[i], v)
+		}
+	}
+	for i, v := range seg.SetupOf {
+		if dec.SetupOf[i] != v {
+			t.Fatalf("setupOf[%d]: %v != %v", i, dec.SetupOf[i], v)
+		}
+	}
+	for i, v := range seg.RegionEntry {
+		if dec.RegionEntry[i] != v {
+			t.Fatalf("regionEntry[%d]: %d != %d", i, dec.RegionEntry[i], v)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, b := segio.Encode(fullSegment()), segio.Encode(fullSegment())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of equal segments differ")
+	}
+}
+
+func TestDecodeWrongVersion(t *testing.T) {
+	enc := segio.Encode(minSegment())
+	// Byte 4 is the (single-byte) version uvarint; the checksum covers only
+	// the payload after it, so bumping the version keeps the file otherwise
+	// well formed.
+	enc[4] = segio.Version + 1
+	_, err := segio.Decode(enc)
+	if !errors.Is(err, segio.ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc := segio.Encode(fullSegment())
+	for i := 0; i < len(enc); i++ {
+		if _, err := segio.Decode(enc[:i]); err == nil {
+			t.Fatalf("Decode accepted %d-byte truncation of %d-byte input", i, len(enc))
+		}
+	}
+}
+
+func TestDecodeBitFlips(t *testing.T) {
+	enc := segio.Encode(fullSegment())
+	buf := make([]byte, len(enc))
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			copy(buf, enc)
+			buf[i] ^= 1 << bit
+			if _, err := segio.Decode(buf); err == nil {
+				t.Fatalf("Decode accepted flip of byte %d bit %d", i, bit)
+			}
+		}
+	}
+}
+
+func TestDecodeTrailingPayload(t *testing.T) {
+	seg := minSegment()
+	enc := segio.Encode(seg)
+	// Rebuild with one stray payload byte and a matching checksum: the
+	// decoder must reject bytes no field accounts for, not skip them.
+	payload := append([]byte{}, enc[5:len(enc)-8]...)
+	payload = append(payload, 0)
+	tampered := append([]byte{}, enc[:5]...)
+	tampered = append(tampered, payload...)
+	var sum [8]byte
+	h := uint64(14695981039346656037)
+	for _, c := range payload {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	for i := 0; i < 8; i++ {
+		sum[i] = byte(h >> (56 - 8*i))
+	}
+	tampered = append(tampered, sum[:]...)
+	if _, err := segio.Decode(tampered); !errors.Is(err, segio.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt on trailing payload, got %v", err)
+	}
+}
+
+func TestDecodeGiantCount(t *testing.T) {
+	// A count field claiming more elements than the payload could hold must
+	// be rejected before any allocation sized from it.
+	seg := minSegment()
+	enc := segio.Encode(seg)
+	payload := append([]byte{}, enc[5:len(enc)-8]...)
+	// Name length 0 is the first payload byte; replace it with a huge
+	// uvarint (2^40) and fix the checksum.
+	huge := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	payload = append(huge, payload[1:]...)
+	tampered := append([]byte{}, enc[:5]...)
+	tampered = append(tampered, payload...)
+	h := uint64(14695981039346656037)
+	for _, c := range payload {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	var sum [8]byte
+	for i := 0; i < 8; i++ {
+		sum[i] = byte(h >> (56 - 8*i))
+	}
+	tampered = append(tampered, sum[:]...)
+	if _, err := segio.Decode(tampered); !errors.Is(err, segio.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt on giant count, got %v", err)
+	}
+}
+
+func TestDecodePrepares(t *testing.T) {
+	dec, err := segio.Decode(segio.Encode(fullSegment()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepare ran inside Decode; a second call must be a no-op and the
+	// derived plan usable (MemFootprint walks the prepared shape).
+	dec.Prepare()
+	if dec.MemFootprint() <= 0 {
+		t.Fatal("decoded segment reports no memory footprint")
+	}
+}

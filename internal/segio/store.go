@@ -1,0 +1,185 @@
+// Content-addressed persistence for encoded segments: the pluggable Store
+// interface the runtime's level-0 cache tier is built on, a directory-
+// backed implementation for warm restarts on one host, and an in-memory
+// implementation for tests.
+//
+// A store is a dumb byte oracle: it maps digests to opaque blobs and
+// knows nothing about segments, generations or invalidation. All cache
+// semantics (what a digest covers, when an entry is orphaned) live in the
+// digest derivation on the runtime side, so alternative stores — an
+// mmap'd arena, a networked blob service shared by a fleet — only have to
+// implement these three methods.
+package segio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Digest is a content address: SHA-256 over whatever identity the caller
+// chose to hash (the runtime hashes template fingerprint, region
+// generation, key tuple and encoding version — see rtr/store.go).
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Store is a content-addressed blob store keyed by Digest. Implementations
+// must be safe for concurrent use by multiple goroutines.
+//
+// Get returns (nil, nil) when the digest is absent — absence is an
+// expected outcome, not an error. Put must be atomic with respect to
+// concurrent Gets of the same digest: a reader sees either nothing or the
+// complete blob, never a torn prefix. Because entries are content-
+// addressed, double-Puts of the same digest are idempotent and racing
+// writers may both "win" harmlessly. Delete of an absent digest is a
+// no-op.
+type Store interface {
+	Get(d Digest) ([]byte, error)
+	Put(d Digest, data []byte) error
+	Delete(d Digest) error
+}
+
+// DirStore is an on-disk Store: one file per digest under a root
+// directory, fanned out by the first hex byte (root/ab/cdef...01.seg) so
+// no single directory grows unboundedly. Writes go to a temp file in the
+// root and are renamed into place, so concurrent readers — including
+// other processes sharing the directory — never observe a partial entry
+// (rename is atomic on POSIX filesystems).
+type DirStore struct {
+	root string
+}
+
+// OpenDir opens (creating if needed) a directory-backed store rooted at
+// path.
+func OpenDir(path string) (*DirStore, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("segio: open store: %w", err)
+	}
+	return &DirStore{root: path}, nil
+}
+
+// Root returns the store's root directory.
+func (s *DirStore) Root() string { return s.root }
+
+func (s *DirStore) path(d Digest) string {
+	h := d.String()
+	return filepath.Join(s.root, h[:2], h[2:]+".seg")
+}
+
+// Get reads the blob for d, or (nil, nil) if absent.
+func (s *DirStore) Get(d Digest) ([]byte, error) {
+	data, err := os.ReadFile(s.path(d))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("segio: store get %s: %w", d, err)
+	}
+	return data, nil
+}
+
+// Put atomically writes the blob for d (temp file + rename).
+func (s *DirStore) Put(d Digest, data []byte) error {
+	dst := s.path(d)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("segio: store put %s: %w", d, err)
+	}
+	tmp, err := os.CreateTemp(s.root, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("segio: store put %s: %w", d, err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("segio: store put %s: %w", d, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("segio: store put %s: %w", d, err)
+	}
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("segio: store put %s: %w", d, err)
+	}
+	return nil
+}
+
+// Delete removes the blob for d; absent digests are a no-op.
+func (s *DirStore) Delete(d Digest) error {
+	err := os.Remove(s.path(d))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("segio: store delete %s: %w", d, err)
+	}
+	return nil
+}
+
+// Len reports how many entries the store holds (diagnostics and tests;
+// counted by walking the fan-out directories).
+func (s *DirStore) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.root, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() && filepath.Ext(path) == ".seg" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// MemStore is an in-memory Store for tests and benchmarks: a mutex-guarded
+// map with copy-on-put/copy-on-get semantics so callers can't alias the
+// stored blobs.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[Digest][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: map[Digest][]byte{}} }
+
+// Get returns a copy of the blob for d, or (nil, nil) if absent.
+func (s *MemStore) Get(d Digest) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[d]
+	if !ok {
+		return nil, nil
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Put stores a copy of data under d.
+func (s *MemStore) Put(d Digest, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[d] = cp
+	return nil
+}
+
+// Delete removes d.
+func (s *MemStore) Delete(d Digest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, d)
+	return nil
+}
+
+// Len reports how many entries the store holds.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

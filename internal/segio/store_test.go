@@ -1,0 +1,135 @@
+package segio_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dyncc/internal/segio"
+)
+
+func digestOf(s string) segio.Digest { return sha256.Sum256([]byte(s)) }
+
+// storeContract runs the behavior every Store implementation must share.
+func storeContract(t *testing.T, s segio.Store) {
+	t.Helper()
+	d := digestOf("alpha")
+	if got, err := s.Get(d); err != nil || got != nil {
+		t.Fatalf("Get on empty store: (%v, %v), want (nil, nil)", got, err)
+	}
+	blob := []byte("stitched bytes")
+	if err := s.Put(d, blob); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get(d)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Get after Put: (%q, %v)", got, err)
+	}
+	// Content-addressed double-Put is idempotent.
+	if err := s.Put(d, blob); err != nil {
+		t.Fatalf("double Put: %v", err)
+	}
+	other := digestOf("beta")
+	if got, err := s.Get(other); err != nil || got != nil {
+		t.Fatalf("Get of absent sibling digest: (%v, %v)", got, err)
+	}
+	if err := s.Delete(d); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if got, err := s.Get(d); err != nil || got != nil {
+		t.Fatalf("Get after Delete: (%v, %v)", got, err)
+	}
+	if err := s.Delete(d); err != nil {
+		t.Fatalf("Delete of absent digest must be a no-op, got %v", err)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := segio.NewMemStore()
+	storeContract(t, s)
+	// Returned and stored blobs must not alias caller memory.
+	d := digestOf("gamma")
+	blob := []byte{1, 2, 3}
+	if err := s.Put(d, blob); err != nil {
+		t.Fatal(err)
+	}
+	blob[0] = 99
+	got, _ := s.Get(d)
+	if got[0] != 1 {
+		t.Fatal("Put aliased the caller's slice")
+	}
+	got[1] = 99
+	again, _ := s.Get(d)
+	if again[1] != 2 {
+		t.Fatal("Get aliased the stored slice")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestDirStore(t *testing.T) {
+	s, err := segio.OpenDir(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, s)
+
+	d1, d2 := digestOf("one"), digestOf("two")
+	if err := s.Put(d1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(d2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(); err != nil || n != 2 {
+		t.Fatalf("Len = (%d, %v), want 2", n, err)
+	}
+	// No stray temp files survive a completed Put.
+	ents, err := os.ReadDir(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			t.Fatalf("unexpected non-directory %q in store root", e.Name())
+		}
+	}
+
+	// Reopening the same directory sees the persisted entries — the whole
+	// point of the tier.
+	re, err := segio.OpenDir(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Get(d1)
+	if err != nil || !bytes.Equal(got, []byte("a")) {
+		t.Fatalf("reopened Get: (%q, %v)", got, err)
+	}
+}
+
+func TestDirStoreSegmentRoundTrip(t *testing.T) {
+	s, err := segio.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := fullSegment()
+	enc := segio.Encode(seg)
+	d := sha256.Sum256(enc)
+	if err := s.Put(d, enc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := segio.Decode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(segio.Encode(dec), enc) {
+		t.Fatal("segment round-tripped through DirStore is not byte-identical")
+	}
+}

@@ -1,0 +1,27 @@
+package testgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStoreFixedSeeds is the persistent-store differential: over the same
+// fixed seed corpus as TestDifferentialFixedSeeds, a cold runtime serving
+// from a store populated by a warm runtime must agree with the
+// unoptimized-IR reference and retain byte-identical segments, with the
+// extended cache-stats accounting exact (see RunStore). Run under -race
+// this also exercises the asynchronous store publisher concurrently.
+func TestStoreFixedSeeds(t *testing.T) {
+	n := int64(150)
+	if testing.Short() {
+		n = 20
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		r := rand.New(rand.NewSource(seed * 7919))
+		c := int64(r.Intn(1024) - 512)
+		x := int64(r.Intn(4000) - 2000)
+		if err := RunStore(seed, c, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package dyncc
+
+import (
+	"bytes"
+	"testing"
+
+	"dyncc/internal/segio"
+)
+
+// The persistent L0 round trip through the public API: compile and run a
+// program over an on-disk store, Close to drain the publisher, then compile
+// the same source into a fresh Program (a simulated process restart) over
+// the same directory. The cold program must serve every specialization from
+// the store — no new stitches — with byte-identical code, and the store
+// tier must stay invisible to results and to the lookup invariant.
+func TestPersistentStoreRoundTrip(t *testing.T) {
+	src := `
+int scale(int s, int x) {
+    int r;
+    dynamicRegion key(s) () {
+        r = x * s + (s * s);
+    }
+    return r;
+}`
+	dir := t.TempDir()
+	open := func() (*Program, *DirStore) {
+		store, err := OpenDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Compile(src, Config{Dynamic: true, Optimize: true,
+			Cache: CacheOptions{Store: store, KeepStitched: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, store
+	}
+	run := func(p *Program, phase string) {
+		m := p.NewMachine(0)
+		for k := int64(1); k <= 8; k++ {
+			got, err := m.Call("scale", k, 3)
+			if err != nil || got != 3*k+k*k {
+				t.Fatalf("%s: scale(%d,3) = %d, %v", phase, k, got, err)
+			}
+		}
+	}
+
+	warm, store := open()
+	run(warm, "warm")
+	warm.Close() // drains the store publisher
+	wcs := warm.CacheStats()
+	if wcs.StorePuts == 0 || wcs.StoreErrors != 0 || wcs.StoreHits != 0 {
+		t.Fatalf("warm store counters: %+v", wcs)
+	}
+	if n, err := store.Len(); err != nil || uint64(n) != wcs.StorePuts {
+		t.Fatalf("store holds %d blobs (%v), %d puts counted", n, err, wcs.StorePuts)
+	}
+
+	cold, _ := open()
+	defer cold.Close()
+	run(cold, "cold")
+	ccs := cold.CacheStats()
+	if ccs.StoreHits != wcs.StorePuts || ccs.Stitches != 0 || ccs.StoreErrors != 0 {
+		t.Fatalf("cold store counters: %+v (warm puts %d)", ccs, wcs.StorePuts)
+	}
+	for _, cs := range []RuntimeCacheStats{wcs, ccs} {
+		if cs.Lookups != cs.SharedHits+cs.Waits+cs.FailedHits+cs.Misses {
+			t.Fatalf("lookup invariant broken: %+v", cs)
+		}
+	}
+
+	// Byte identity of the served code, via the canonical encoding.
+	ws, cc := warm.c.Runtime.Stitched[0], cold.c.Runtime.Stitched[0]
+	if len(ws) != len(cc) || len(ws) == 0 {
+		t.Fatalf("retained %d warm vs %d cold segments", len(ws), len(cc))
+	}
+	for i := range ws {
+		if !bytes.Equal(segio.Encode(ws[i]), segio.Encode(cc[i])) {
+			t.Fatalf("segment %d: store-served encoding differs from inline stitch", i)
+		}
+	}
+
+	// Invalidation must not resurrect stale persisted code: after a key
+	// invalidation, a fresh runtime over the same store re-stitches.
+	cold.InvalidateKey(0, 3)
+	cold.WaitIdle()
+	m := cold.NewMachine(0)
+	if got, err := m.Call("scale", 3, 5); err != nil || got != 5*3+9 {
+		t.Fatalf("post-invalidate scale(3,5) = %d, %v", got, err)
+	}
+	if cs := cold.CacheStats(); cs.Stitches == 0 {
+		t.Fatalf("invalidated key was served without a re-stitch: %+v", cs)
+	}
+}
