@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile bench-stitch bench-serve bench-cold table2 clean
+.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile bench-stitch bench-serve bench-cold bench-auto table2 clean
 
 all: check
 
@@ -10,7 +10,9 @@ all: check
 # stitch differential pass under the race detector (fast enough for every
 # check run; `race` still covers the whole tree), batch compilation gets a
 # race-enabled Compile/CompileBatch stress run, a fixed-seed differential
-# sweep smoke and a short race-enabled serving run, the differential fuzzer
+# sweep smoke and a short race-enabled serving run, a race-enabled
+# automatic-promotion sweep smoke (annotation-stripped programs promoting,
+# guarding and deoptimizing against the reference), the differential fuzzer
 # gets a short smoke run over the seed corpus plus fresh inputs, and the
 # suite runs once more with ir.Verify forced between all compiler passes
 # (check-passes), and the persistent-store round trip (compile → persist →
@@ -29,6 +31,7 @@ check:
 	$(GO) test -race -short -timeout 180s -run 'TestCompileBatch|TestCompileRaceBatchVsSerial' ./internal/core
 	$(GO) test -short -timeout 120s -run 'TestBatchSweepFixedSeeds' ./internal/testgen
 	$(GO) test -race -short -timeout 180s -run 'TestServeSmall' ./internal/bench
+	$(GO) test -race -short -timeout 180s -run 'TestAutoFixedSeeds' ./internal/testgen
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/testgen
 	$(MAKE) check-passes
 
@@ -92,6 +95,12 @@ bench-serve:
 # vs empty on-disk store across working-set sizes, written to BENCH_8.json.
 bench-cold:
 	$(GO) run ./cmd/dynbench -coldstart -json BENCH_8.json
+
+# Automatic region promotion: the annotation-stripped kernel under
+# speculative promotion vs the static baseline vs the hand-annotated
+# region, on a phased-key workload, written to BENCH_9.json.
+bench-auto:
+	$(GO) run ./cmd/dynbench -autoregion -json BENCH_9.json
 
 # Regenerate the paper's tables on stdout.
 table2:

@@ -1,0 +1,222 @@
+package dyncc_test
+
+import (
+	"testing"
+
+	"dyncc"
+)
+
+// autoExactSrc is a program with rich observable state — per-call return
+// values, array mutations, a global accumulator — whose only function is
+// an automatic-promotion candidate (scalar int params, no calls, no
+// address-of). The exactness tests drive it through promotion and
+// guard-failure deoptimization and require every observable identical to a
+// never-promoted run.
+const autoExactSrc = `
+int g;
+
+int step(int k, int i, int *a, int n) {
+    int j;
+    int s;
+    s = 0;
+    for (j = 0; j < n; j++) {
+        a[j] = a[j] + k * i;
+        s = s + a[j];
+    }
+    g = g + s;
+    return s ^ k;
+}
+
+int readg() {
+    return g + 0;
+}
+`
+
+// autoWorkload drives one machine through the exactness workload: calls
+// with a stable key tuple, then a key flip mid-stream, then more calls.
+// Returns every observable: per-call outputs, final array contents, the
+// global accumulator, and the region invocation count.
+func autoWorkload(t *testing.T, cfg dyncc.Config) (outs []int64, arr []int64, g int64, invocations uint64) {
+	t.Helper()
+	p, err := dyncc.Compile(autoExactSrc, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if cfg.AutoRegion && p.NumRegions() == 0 {
+		t.Fatalf("autoregion pass promoted no region")
+	}
+	m := p.NewMachine(0)
+	const n = 6
+	va, err := m.Alloc(n)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	call := func(k, i int64) {
+		v, err := m.Call("step", k, i, va, n)
+		if err != nil {
+			t.Fatalf("step(%d,%d): %v", k, i, err)
+		}
+		outs = append(outs, v)
+	}
+	// Stable phase (promotes under aggressive thresholds), a mid-workload
+	// key flip (fails the guard on the monomorphic path), then a second
+	// stable phase on the new key.
+	for c := 0; c < 8; c++ {
+		call(3, 2)
+	}
+	for c := 0; c < 8; c++ {
+		call(5, 2)
+	}
+	arr = append(arr, m.Mem()[va:va+n]...)
+	g, err = m.Call("readg")
+	if err != nil {
+		t.Fatalf("readg: %v", err)
+	}
+	if cfg.AutoRegion {
+		invocations = m.Region(0).Invocations
+	}
+	return outs, arr, g, invocations
+}
+
+// TestAutoDeoptExactness: a guard failure mid-workload must leave every
+// program-observable — call outputs, mutated array, global state, region
+// invocation counts — identical to a run that never promoted. (Cycle
+// counts legitimately differ: promotion skips set-up and guards cost a
+// branch each; exactness is about program semantics.)
+func TestAutoDeoptExactness(t *testing.T) {
+	speculative := dyncc.Config{
+		Dynamic: true, Optimize: true, AutoRegion: true,
+		AutoPromoteThreshold: 3, AutoStabilityWindow: 2,
+	}
+	// Same build, but the threshold is unreachable: the region profiles
+	// forever and never promotes — the semantic baseline.
+	never := speculative
+	never.AutoPromoteThreshold = 1 << 30
+
+	specOuts, specArr, specG, specInv := autoWorkload(t, speculative)
+	baseOuts, baseArr, baseG, baseInv := autoWorkload(t, never)
+
+	for i := range specOuts {
+		if specOuts[i] != baseOuts[i] {
+			t.Fatalf("call %d diverges: promoted %d, never-promoted %d",
+				i, specOuts[i], baseOuts[i])
+		}
+	}
+	for i := range specArr {
+		if specArr[i] != baseArr[i] {
+			t.Fatalf("array word %d diverges: promoted %d, never-promoted %d",
+				i, specArr[i], baseArr[i])
+		}
+	}
+	if specG != baseG {
+		t.Fatalf("global diverges: promoted %d, never-promoted %d", specG, baseG)
+	}
+	if specInv != baseInv {
+		t.Fatalf("invocations diverge: promoted %d, never-promoted %d — deopt double-counts or skips region entry",
+			specInv, baseInv)
+	}
+}
+
+// TestAutoDeoptStats asserts the exactness workload actually exercised the
+// machinery: the stable phase promoted and the key flip deoptimized.
+func TestAutoDeoptStats(t *testing.T) {
+	cfg := dyncc.Config{
+		Dynamic: true, Optimize: true, AutoRegion: true,
+		AutoPromoteThreshold: 3, AutoStabilityWindow: 2,
+	}
+	p, err := dyncc.Compile(autoExactSrc, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := p.NewMachine(0)
+	va, err := m.Alloc(6)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	for c := 0; c < 8; c++ {
+		if _, err := m.Call("step", 3, 2, va, 6); err != nil {
+			t.Fatalf("call: %v", err)
+		}
+	}
+	cs := p.CacheStats()
+	if cs.Promotions != 1 {
+		t.Fatalf("stable phase: got %d promotions, want 1", cs.Promotions)
+	}
+	if cs.Deopts != 0 {
+		t.Fatalf("stable phase: got %d deopts, want 0", cs.Deopts)
+	}
+	if _, err := m.Call("step", 5, 2, va, 6); err != nil {
+		t.Fatalf("flip call: %v", err)
+	}
+	cs = p.CacheStats()
+	if cs.Deopts != 1 {
+		t.Fatalf("key flip: got %d deopts, want 1", cs.Deopts)
+	}
+}
+
+// TestAutoPhaseChangeHysteresis flips a "stable" operand every few calls —
+// the adversarial workload for speculation. Deoptimization backoff must
+// prevent promote/deopt livelock: deopts grow logarithmically (threshold
+// multiplies by the backoff factor each time), not linearly with the
+// number of phase changes, and every call still returns the right answer.
+func TestAutoPhaseChangeHysteresis(t *testing.T) {
+	cfg := dyncc.Config{
+		Dynamic: true, Optimize: true, AutoRegion: true,
+		AutoPromoteThreshold: 3, AutoStabilityWindow: 2, AutoBackoffFactor: 4,
+	}
+	p, err := dyncc.Compile(autoExactSrc, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := p.NewMachine(0)
+	const n = 6
+	va, err := m.Alloc(n)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	// Shadow model of the program, for per-call correctness.
+	shadow := make([]int64, n)
+	var shadowG int64
+	const (
+		calls    = 400
+		phaseLen = 4
+	)
+	for c := 0; c < calls; c++ {
+		k := int64(3)
+		if (c/phaseLen)%2 == 1 {
+			k = 5
+		}
+		got, err := m.Call("step", k, 2, va, n)
+		if err != nil {
+			t.Fatalf("call %d: %v", c, err)
+		}
+		var s int64
+		for j := range shadow {
+			shadow[j] += k * 2
+			s += shadow[j]
+		}
+		shadowG += s
+		if got != s^k {
+			t.Fatalf("call %d (k=%d): got %d, want %d", c, k, got, s^k)
+		}
+	}
+	cs := p.CacheStats()
+	phases := uint64(calls / phaseLen)
+	if cs.Deopts >= phases/2 {
+		t.Fatalf("livelock: %d deopts over %d phase changes — backoff is not damping re-promotion",
+			cs.Deopts, phases)
+	}
+	if cs.Deopts == 0 || cs.Promotions == 0 {
+		t.Fatalf("workload did not exercise speculation: %d promotions, %d deopts",
+			cs.Promotions, cs.Deopts)
+	}
+	t.Logf("%d calls, %d phase changes: %d promotions, %d deopts",
+		calls, phases, cs.Promotions, cs.Deopts)
+	g, err := m.Call("readg")
+	if err != nil {
+		t.Fatalf("readg: %v", err)
+	}
+	if g != shadowG {
+		t.Fatalf("global diverges: got %d, want %d", g, shadowG)
+	}
+}

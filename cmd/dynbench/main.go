@@ -68,19 +68,21 @@ type jsonEnvelope struct {
 
 // jsonConfig records the effective settings of the run.
 type jsonConfig struct {
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Uses       int    `json:"uses,omitempty"`
-	Merged     bool   `json:"merged,omitempty"`
-	Parallel   int    `json:"parallel,omitempty"`
-	ChurnCap   int    `json:"churn_cap,omitempty"`
-	ChurnKeys  int    `json:"churn_keys,omitempty"`
-	StitchIter int    `json:"stitch_iters,omitempty"`
-	CTIters    int    `json:"ct_iters,omitempty"`
-	HostDur    string `json:"host_dur,omitempty"`
-	Tenants    int    `json:"tenants,omitempty"`
-	Requests   int    `json:"requests,omitempty"`
-	Workers    int    `json:"compile_workers,omitempty"`
-	ColdKeys   int    `json:"cold_keys,omitempty"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Uses         int    `json:"uses,omitempty"`
+	Merged       bool   `json:"merged,omitempty"`
+	Parallel     int    `json:"parallel,omitempty"`
+	ChurnCap     int    `json:"churn_cap,omitempty"`
+	ChurnKeys    int    `json:"churn_keys,omitempty"`
+	StitchIter   int    `json:"stitch_iters,omitempty"`
+	CTIters      int    `json:"ct_iters,omitempty"`
+	HostDur      string `json:"host_dur,omitempty"`
+	Tenants      int    `json:"tenants,omitempty"`
+	Requests     int    `json:"requests,omitempty"`
+	Workers      int    `json:"compile_workers,omitempty"`
+	ColdKeys     int    `json:"cold_keys,omitempty"`
+	AutoPhases   int    `json:"auto_phases,omitempty"`
+	AutoPhaseLen int    `json:"auto_phase_len,omitempty"`
 }
 
 // jsonResults holds one section per benchmark that ran.
@@ -96,6 +98,7 @@ type jsonResults struct {
 	StitchPerf     *bench.StitchPerfResult  `json:"stitch_perf,omitempty"`
 	Serve          *bench.ServeResult       `json:"serve,omitempty"`
 	ColdStart      *bench.ColdStartResult   `json:"cold_start,omitempty"`
+	AutoRegion     *bench.AutoRegionResult  `json:"auto_region,omitempty"`
 }
 
 // legacyReport is the pre-envelope flat schema, still accepted by
@@ -148,6 +151,9 @@ func main() {
 	churnKeys := flag.Int("churnkeys", 0, "distinct keys for -cachechurn (0 = default 4096)")
 	coldstart := flag.Bool("coldstart", false, "run the restart-to-warm benchmark (persistent store, populated vs empty)")
 	coldkeys := flag.Int("coldkeys", 0, "single working-set size for -coldstart (0 = default sweep 64/256/1024)")
+	autoregion := flag.Bool("autoregion", false, "run the automatic-promotion comparison (speculative vs static vs hand-annotated)")
+	autoPhases := flag.Int("autophases", 0, "key phases for -autoregion (0 = default 8)")
+	autoPhaseLen := flag.Int("autophaselen", 0, "calls per phase for -autoregion (0 = default 512)")
 	serve := flag.Bool("serve", false, "run the multi-tenant Zipf serving benchmark (batch compile + serve latency)")
 	tenants := flag.Int("tenants", 0, "tenant fleet size for -serve (0 = default 2000)")
 	requests := flag.Int("requests", 0, "total serve requests for -serve (0 = default 100000)")
@@ -290,6 +296,19 @@ func main() {
 		fmt.Printf("Parallel machines: shared stitch cache, %d distinct keys (GOMAXPROCS=%d)\n",
 			results.Parallel[0].Keys, runtime.GOMAXPROCS(0))
 		bench.PrintParallel(os.Stdout, results.Parallel)
+		fmt.Println()
+	}
+
+	if *autoregion {
+		modes = append(modes, "autoregion")
+		cfgRec.AutoPhases = *autoPhases
+		cfgRec.AutoPhaseLen = *autoPhaseLen
+		results.AutoRegion, err = bench.AutoRegion(*autoPhases, *autoPhaseLen)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Auto region: speculative promotion vs static vs hand-annotated")
+		bench.PrintAutoRegion(os.Stdout, results.AutoRegion)
 		fmt.Println()
 	}
 

@@ -31,6 +31,8 @@ func (l *passList) Set(v string) error {
 func main() {
 	dynamic := flag.Bool("dynamic", true, "compile dynamic regions")
 	optimize := flag.Bool("O", true, "run the static optimizer")
+	autoregion := flag.Bool("autoregion", false, "speculatively promote unannotated functions to dynamic regions (profile-guided, guarded)")
+	promoteAt := flag.Uint64("promote-threshold", 0, "calls with a stable key tuple before an auto region promotes (0 = default)")
 	fn := flag.String("func", "main", "function to call")
 	mem := flag.Int("mem", 0, "VM memory in words (0 = default)")
 	trace := flag.String("trace", "", "write a per-instruction execution trace to this file (- for stderr)")
@@ -58,7 +60,9 @@ func main() {
 		args = append(args, v)
 	}
 
-	cfg := core.Config{Dynamic: *dynamic, Optimize: *optimize, DisablePasses: disable}
+	cfg := core.Config{Dynamic: *dynamic, Optimize: *optimize, DisablePasses: disable,
+		AutoRegion: *autoregion}
+	cfg.Auto.PromoteThreshold = *promoteAt
 	if *dumpir != "" {
 		cfg.DumpIR = func(pass, f, text string) {
 			if *dumpir != "all" && *dumpir != pass {
@@ -108,5 +112,9 @@ func main() {
 		}
 		fmt.Printf("region %d: %d invocations, %d exec cycles, %d set-up, %d stitch, %d stitched insts\n",
 			i, rc.Invocations, rc.ExecCycles, rc.SetupCycles, rc.StitchCycles, rc.StitchedInsts)
+	}
+	if *autoregion {
+		cs := c.Runtime.CacheStats()
+		fmt.Printf("auto: %d promotions, %d deoptimizations\n", cs.Promotions, cs.Deopts)
 	}
 }

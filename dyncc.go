@@ -61,6 +61,25 @@ type Config struct {
 	// overhead (the paper predicted this would "drastically reduce"
 	// dynamic compilation costs).
 	MergedStitch bool
+	// AutoRegion enables profile-guided automatic region promotion:
+	// eligible *unannotated* functions are rewritten into keyed dynamic
+	// regions that the runtime profiles, stitching only once their key
+	// operands prove hot and stable, with guard instructions in the
+	// stitched code that deoptimize back to unspecialized execution when a
+	// speculated operand changes. Annotated regions are unaffected.
+	// Requires Dynamic; see DESIGN.md "Speculative promotion".
+	AutoRegion bool
+	// AutoPromoteThreshold is the invocation count before an automatic
+	// region may promote (0 = default 8). Set it above the workload's call
+	// count for a never-promoting baseline.
+	AutoPromoteThreshold uint64
+	// AutoStabilityWindow is how many consecutive identical key tuples the
+	// profiler must observe before promoting (0 = default 4).
+	AutoStabilityWindow int
+	// AutoBackoffFactor multiplies the promotion threshold after each
+	// deoptimization — hysteresis against promote/deopt livelock on
+	// phase-changing operands (0 = default 4; capped at 2^20).
+	AutoBackoffFactor uint64
 	// Cache tunes the runtime's two-level stitch cache.
 	Cache CacheOptions
 	// DisablePasses names compiler pipeline passes to skip, for ablation
@@ -175,10 +194,16 @@ func (cfg Config) coreConfig() core.Config {
 		Dynamic:        cfg.Dynamic,
 		Optimize:       cfg.Optimize,
 		MergedStitch:   cfg.MergedStitch,
+		AutoRegion:     cfg.AutoRegion,
 		DisablePasses:  cfg.DisablePasses,
 		DumpIR:         cfg.DumpIR,
 		CompileWorkers: cfg.CompileWorkers,
 		CollectErrors:  cfg.CollectErrors,
+		Auto: rtr.AutoOptions{
+			PromoteThreshold: cfg.AutoPromoteThreshold,
+			StabilityWindow:  cfg.AutoStabilityWindow,
+			BackoffFactor:    cfg.AutoBackoffFactor,
+		},
 		Stitcher: stitcher.Options{
 			NoStrengthReduction: cfg.NoStrengthReduction,
 			NoFuse:              cfg.NoFuse,
@@ -464,6 +489,12 @@ type RuntimeCacheStats struct {
 	StoreMisses uint64 // store consults that found nothing
 	StorePuts   uint64 // segments successfully published to the store
 	StoreErrors uint64 // store I/O or decode failures, plus dropped queue ops
+
+	// Speculative promotion (Config.AutoRegion; all zero without it).
+	// Each Deopt also counts an Invalidation: demotion orphans the
+	// region's stale stitches through the regular invalidation path.
+	Promotions uint64 // automatic regions promoted from profiling to stitching
+	Deopts     uint64 // guard-failure demotions back to profiling
 }
 
 // PromoteQuantile returns an upper bound on the q-quantile (0 < q <= 1) of
@@ -502,6 +533,8 @@ func (p *Program) CacheStats() RuntimeCacheStats {
 		StoreMisses:     cs.StoreMisses,
 		StorePuts:       cs.StorePuts,
 		StoreErrors:     cs.StoreErrors,
+		Promotions:      cs.Promotions,
+		Deopts:          cs.Deopts,
 	}
 }
 

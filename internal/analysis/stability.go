@@ -1,0 +1,67 @@
+// Run-time operand-stability inference for speculative region promotion:
+// the profiling tier observes the candidate key tuple of an Auto region on
+// every invocation and promotes only once the recent window of
+// observations agrees. This is the dynamic half of the run-time-constants
+// analysis — the static half (this package's Analyze) proves which values
+// *would* be constant if the keys held still; Stability decides whether
+// they actually do.
+package analysis
+
+// Stability tracks the last `window` operand-tuple observations of one
+// region. Not safe for concurrent use; callers serialize (the runtime
+// holds its per-region promotion lock around Observe/Stable).
+type Stability struct {
+	window int
+	ring   []string
+	next   int
+	filled bool
+}
+
+// DefaultStabilityWindow is the observation window used when none is
+// configured: four consecutive identical key tuples before promotion.
+const DefaultStabilityWindow = 4
+
+// NewStability creates a tracker over the last `window` observations
+// (values < 1 use DefaultStabilityWindow).
+func NewStability(window int) *Stability {
+	if window < 1 {
+		window = DefaultStabilityWindow
+	}
+	return &Stability{window: window, ring: make([]string, window)}
+}
+
+// Observe records one operand tuple (any stable encoding; the runtime uses
+// the region's varint key bytes).
+func (s *Stability) Observe(tuple string) {
+	s.ring[s.next] = tuple
+	s.next++
+	if s.next == s.window {
+		s.next = 0
+		s.filled = true
+	}
+}
+
+// Stable reports whether the window is full and every observation in it is
+// identical — the promotion criterion: the speculated operands held still
+// across the recent past.
+func (s *Stability) Stable() bool {
+	if !s.filled {
+		return false
+	}
+	for i := 1; i < s.window; i++ {
+		if s.ring[i] != s.ring[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the window (demotion after a deoptimization: the region
+// must re-earn stability before promoting again).
+func (s *Stability) Reset() {
+	s.next = 0
+	s.filled = false
+	for i := range s.ring {
+		s.ring[i] = ""
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import "testing"
+
+func TestStabilityWindow(t *testing.T) {
+	s := NewStability(3)
+	if s.Stable() {
+		t.Fatal("empty tracker must not be stable")
+	}
+	s.Observe("a")
+	s.Observe("a")
+	if s.Stable() {
+		t.Fatal("unfilled window must not be stable")
+	}
+	s.Observe("a")
+	if !s.Stable() {
+		t.Fatal("three identical observations should be stable")
+	}
+	s.Observe("b")
+	if s.Stable() {
+		t.Fatal("a differing observation must break stability")
+	}
+	s.Observe("b")
+	s.Observe("b")
+	if !s.Stable() {
+		t.Fatal("the window should re-stabilize on the new tuple")
+	}
+}
+
+func TestStabilityReset(t *testing.T) {
+	s := NewStability(2)
+	s.Observe("a")
+	s.Observe("a")
+	if !s.Stable() {
+		t.Fatal("precondition: stable")
+	}
+	s.Reset()
+	if s.Stable() {
+		t.Fatal("reset must clear stability")
+	}
+	s.Observe("a")
+	if s.Stable() {
+		t.Fatal("stability must be re-earned over a full window after reset")
+	}
+	s.Observe("a")
+	if !s.Stable() {
+		t.Fatal("full window after reset should be stable again")
+	}
+}
+
+func TestStabilityDefaultWindow(t *testing.T) {
+	s := NewStability(0)
+	for i := 0; i < DefaultStabilityWindow-1; i++ {
+		s.Observe("k")
+		if s.Stable() {
+			t.Fatalf("stable after %d observations, want %d", i+1, DefaultStabilityWindow)
+		}
+	}
+	s.Observe("k")
+	if !s.Stable() {
+		t.Fatal("default window of identical observations should be stable")
+	}
+}

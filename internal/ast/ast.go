@@ -186,6 +186,12 @@ type DynamicRegion struct {
 	Keys   []string // key(...) variables; also run-time constants
 	Consts []string // run-time constant variables at region entry
 	Body   *Block
+
+	// Auto marks regions synthesized by the autoregion pass (speculative
+	// promotion of unannotated code) rather than written by the programmer.
+	// The runtime profiles them before stitching and wraps their stitched
+	// code in guards that deoptimize when a speculated key changes.
+	Auto bool
 }
 
 // Pos implementations.

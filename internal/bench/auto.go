@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+	"dyncc/internal/testgen"
+)
+
+// Automatic-promotion benchmark: the same kernel three ways on one phased
+// workload — hand-annotated (the paper's programmer-in-the-loop model),
+// annotation-stripped with speculative promotion (core.Config.AutoRegion),
+// and annotation-stripped with nothing (the static baseline). The workload
+// holds its key operands stable for long phases and flips them between
+// phases, so the speculative subject must discover the region, promote it,
+// run guarded stitched code, and deoptimize at every phase boundary.
+const (
+	autoBenchPhases   = 8
+	autoBenchPhaseLen = 512
+	autoBenchN        = 8
+)
+
+// autoBenchSrc is the annotated kernel; testgen.StripAnnotations turns it
+// into the plain program the speculative and baseline subjects compile.
+// Both scalar parameters are region keys, so the automatic pass speculates
+// on exactly the operands the annotation names.
+const autoBenchSrc = `
+int kernel(int k, int n, int *a) {
+    int s;
+    s = 0;
+    dynamicRegion key(k, n) () {
+        int i;
+        unrolled for (i = 0; i < n; i++) {
+            s = s + a[i] * k;
+        }
+    }
+    return s;
+}`
+
+// autoBenchOpts keeps re-promotion reachable across every phase: gentle
+// backoff with a capped threshold well under the phase length, so the
+// steady state of each phase is promoted guarded code.
+var autoBenchOpts = rtr.AutoOptions{
+	BackoffFactor: 2,
+	MaxThreshold:  64,
+}
+
+// AutoRegionResult is the three-subject comparison plus the speculative
+// subject's promotion activity.
+type AutoRegionResult struct {
+	Calls    int `json:"calls"`
+	Phases   int `json:"phases"`
+	PhaseLen int `json:"phase_len"`
+
+	// Modeled guest cycles per call for each subject, whole workload
+	// (including profiling, set-up, stitching and guard overhead where the
+	// subject pays them).
+	OffCyclesPerCall       float64 `json:"off_cycles_per_call"`
+	AutoCyclesPerCall      float64 `json:"auto_cycles_per_call"`
+	AnnotatedCyclesPerCall float64 `json:"annotated_cycles_per_call"`
+	// Speedups versus the static baseline (off / subject).
+	AutoSpeedup      float64 `json:"auto_speedup"`
+	AnnotatedSpeedup float64 `json:"annotated_speedup"`
+
+	// Promotion activity of the speculative subject.
+	Promotions   uint64 `json:"promotions"`
+	Deopts       uint64 `json:"deopts"`
+	Stitches     uint64 `json:"stitches"`
+	FallbackRuns uint64 `json:"fallback_runs"`
+	// PromotionLatency is the number of calls before the first promotion
+	// (the profiling tier's time-to-speculation).
+	PromotionLatency int `json:"promotion_latency_calls"`
+	// KeyChanges is the number of phase boundaries (key flips) in the
+	// workload; DeoptRate is Deopts / KeyChanges.
+	KeyChanges int     `json:"key_changes"`
+	DeoptRate  float64 `json:"deopt_rate"`
+}
+
+// autoBenchKey returns the key operand for phase p: two values alternate,
+// so every phase boundary is a guard failure for promoted code.
+func autoBenchKey(p int) int64 {
+	if p%2 == 1 {
+		return 5
+	}
+	return 3
+}
+
+// autoBenchRun drives one compiled subject through the phased workload and
+// returns modeled guest cycles per call. When latency is non-nil it is set
+// to the 1-based call index of the first promotion (or the call count if
+// the subject never promoted).
+func autoBenchRun(name string, c *core.Compiled, phases, phaseLen int, latency *int) (float64, error) {
+	defer c.Runtime.Close()
+	m := c.NewMachine(0)
+	va, err := m.Alloc(autoBenchN)
+	if err != nil {
+		return 0, err
+	}
+	for i := int64(0); i < autoBenchN; i++ {
+		m.Mem[va+i] = 2*i + 1
+	}
+	calls := 0
+	for p := 0; p < phases; p++ {
+		k := autoBenchKey(p)
+		var want int64
+		for i := int64(0); i < autoBenchN; i++ {
+			want += m.Mem[va+i] * k
+		}
+		for n := 0; n < phaseLen; n++ {
+			got, err := m.Call("kernel", k, autoBenchN, va)
+			if err != nil {
+				return 0, fmt.Errorf("autoregion %s call (phase=%d n=%d): %w", name, p, n, err)
+			}
+			if got != want {
+				return 0, fmt.Errorf("autoregion %s diverges (phase=%d n=%d): got %d, want %d", name, p, n, got, want)
+			}
+			calls++
+			if latency != nil && *latency == 0 && c.Runtime.CacheStats().Promotions > 0 {
+				*latency = calls
+			}
+		}
+	}
+	if latency != nil && *latency == 0 {
+		*latency = calls
+	}
+	return float64(m.Cycles) / float64(calls), nil
+}
+
+// AutoRegion runs the three-subject comparison. Zero arguments select the
+// standard workload (8 phases of 512 calls).
+func AutoRegion(phases, phaseLen int) (*AutoRegionResult, error) {
+	if phases < 2 {
+		phases = autoBenchPhases
+	}
+	if phaseLen < 1 {
+		phaseLen = autoBenchPhaseLen
+	}
+	stripped := testgen.StripAnnotations(autoBenchSrc)
+
+	off, err := core.Compile(stripped, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		return nil, fmt.Errorf("autoregion baseline compile: %w", err)
+	}
+	offCPC, err := autoBenchRun("baseline", off, phases, phaseLen, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	auto, err := core.Compile(stripped, core.Config{
+		Dynamic: true, Optimize: true,
+		AutoRegion: true, Auto: autoBenchOpts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("autoregion speculative compile: %w", err)
+	}
+	if len(auto.Output.Regions) == 0 {
+		auto.Runtime.Close()
+		return nil, fmt.Errorf("autoregion: pass promoted no region")
+	}
+	var latency int
+	autoCPC, err := autoBenchRun("speculative", auto, phases, phaseLen, &latency)
+	if err != nil {
+		return nil, err
+	}
+	cs := auto.Runtime.CacheStats()
+
+	annot, err := core.Compile(autoBenchSrc, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		return nil, fmt.Errorf("autoregion annotated compile: %w", err)
+	}
+	annotCPC, err := autoBenchRun("annotated", annot, phases, phaseLen, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &AutoRegionResult{
+		Calls:    phases * phaseLen,
+		Phases:   phases,
+		PhaseLen: phaseLen,
+
+		OffCyclesPerCall:       offCPC,
+		AutoCyclesPerCall:      autoCPC,
+		AnnotatedCyclesPerCall: annotCPC,
+
+		Promotions:       cs.Promotions,
+		Deopts:           cs.Deopts,
+		Stitches:         cs.Stitches,
+		FallbackRuns:     cs.FallbackRuns,
+		PromotionLatency: latency,
+		KeyChanges:       phases - 1,
+	}
+	if autoCPC > 0 {
+		r.AutoSpeedup = offCPC / autoCPC
+	}
+	if annotCPC > 0 {
+		r.AnnotatedSpeedup = offCPC / annotCPC
+	}
+	if r.KeyChanges > 0 {
+		r.DeoptRate = float64(cs.Deopts) / float64(r.KeyChanges)
+	}
+	if cs.Promotions == 0 {
+		return nil, fmt.Errorf("autoregion: workload never promoted (%d calls)", r.Calls)
+	}
+	if cs.Deopts == 0 {
+		return nil, fmt.Errorf("autoregion: %d phase changes but no deopts", r.KeyChanges)
+	}
+	return r, nil
+}
+
+// PrintAutoRegion renders the comparison.
+func PrintAutoRegion(w io.Writer, r *AutoRegionResult) {
+	fmt.Fprintf(w, "phased key workload: %d calls (%d phases x %d), %d key changes\n",
+		r.Calls, r.Phases, r.PhaseLen, r.KeyChanges)
+	fmt.Fprintf(w, "  %-28s %9.1f cyc/call\n", "static (stripped, no spec)", r.OffCyclesPerCall)
+	fmt.Fprintf(w, "  %-28s %9.1f cyc/call   %5.2fx\n", "auto-promoted (speculative)", r.AutoCyclesPerCall, r.AutoSpeedup)
+	fmt.Fprintf(w, "  %-28s %9.1f cyc/call   %5.2fx\n", "hand-annotated region", r.AnnotatedCyclesPerCall, r.AnnotatedSpeedup)
+	fmt.Fprintf(w, "  %-28s %d promotions, %d deopts (%.2f per key change), %d stitches, %d fallback runs\n",
+		"promotion activity", r.Promotions, r.Deopts, r.DeoptRate, r.Stitches, r.FallbackRuns)
+	fmt.Fprintf(w, "  %-28s %d calls to first promotion\n", "promotion latency", r.PromotionLatency)
+}

@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// A scaled-down automatic-promotion comparison: all three subjects agree
+// on every call (AutoRegion errors on divergence), the speculative subject
+// promotes and deopts, and the reported rates are internally consistent.
+func TestAutoRegionSmall(t *testing.T) {
+	r, err := AutoRegion(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Calls != 4*256 || r.KeyChanges != 3 {
+		t.Fatalf("workload shape: %+v", r)
+	}
+	if r.Promotions == 0 || r.Deopts == 0 {
+		t.Fatalf("speculation did not engage: %+v", r)
+	}
+	if r.Deopts > uint64(r.KeyChanges) {
+		t.Fatalf("more deopts (%d) than key changes (%d)", r.Deopts, r.KeyChanges)
+	}
+	if r.PromotionLatency < 1 || r.PromotionLatency > r.Calls {
+		t.Fatalf("promotion latency out of range: %d", r.PromotionLatency)
+	}
+	if r.OffCyclesPerCall <= 0 || r.AutoCyclesPerCall <= 0 || r.AnnotatedCyclesPerCall <= 0 {
+		t.Fatalf("cycles per call not populated: %+v", r)
+	}
+	// The guarded monomorphic steady state must beat the static baseline —
+	// that is the point of promotion. The hand-annotated region is the
+	// ceiling (it also gets loop unrolling from the `unrolled` hint).
+	if r.AutoSpeedup <= 1.0 {
+		t.Errorf("speculation did not pay: auto %.1f cyc/call vs static %.1f",
+			r.AutoCyclesPerCall, r.OffCyclesPerCall)
+	}
+	if r.AnnotatedSpeedup < r.AutoSpeedup {
+		t.Errorf("annotated (%.2fx) should be at least the auto speedup (%.2fx)",
+			r.AnnotatedSpeedup, r.AutoSpeedup)
+	}
+	t.Logf("static %.1f, auto %.1f (%.2fx), annotated %.1f (%.2fx); %d promotions, %d deopts, latency %d calls",
+		r.OffCyclesPerCall, r.AutoCyclesPerCall, r.AutoSpeedup,
+		r.AnnotatedCyclesPerCall, r.AnnotatedSpeedup,
+		r.Promotions, r.Deopts, r.PromotionLatency)
+}

@@ -263,6 +263,18 @@ func (fg *funcGen) emitTemplates(r *ir.Region, sr *split.Result) (*tmpl.Region, 
 		tr.KeyRegs = append(tr.KeyRegs, regalloc.TempA+vm.Reg(i))
 	}
 	tr.Shareable = regionShareable(fg.f, r)
+	tr.Auto = r.Auto
+	if r.Auto {
+		// Deopt target: the region's set-up entry in the function segment.
+		// emitTemplates runs after fuse(), so labels are final. A failed
+		// guard re-runs set-up with the live key values and reaches
+		// DYNSTITCH, which routes to the generic tier for that call.
+		pc, ok := fg.labels[sr.SetupEntry]
+		if !ok {
+			return nil, fmt.Errorf("auto region %s: set-up entry not emitted", tr.Name)
+		}
+		tr.DeoptPC = pc
+	}
 
 	// Collect template blocks reachable from the template entry.
 	var blocks []*ir.Block

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"dyncc/internal/ast"
+	"dyncc/internal/pipeline"
+	"dyncc/internal/token"
+)
+
+// passAutoRegion is the speculative-promotion front end: it rewrites
+// candidate *unannotated* functions so their whole body becomes a keyed
+// dynamic region marked Auto, with the function's stable-looking scalar
+// int parameters as keys. The runtime then profiles each Auto region and
+// only starts stitching once the observed key tuple is hot and stable;
+// stitched code is wrapped in GUARD instructions that deoptimize back to
+// the generic tier when a speculated key changes. The rewrite itself is
+// therefore behavior-neutral by construction — it only opens the door for
+// the runtime to speculate.
+//
+// The pass is optional (`-disable-pass autoregion`) and inert unless
+// Config.AutoRegion is set, mirroring how `stencil` rides RegisterOptional.
+type passAutoRegion struct{ enabled bool }
+
+func (passAutoRegion) Name() string { return "autoregion" }
+
+func (p passAutoRegion) Run(ctx *pipeline.Context) error {
+	if !p.enabled || !ctx.Dynamic || ctx.File == nil {
+		return nil
+	}
+	n := 0
+	for _, fd := range ctx.File.Funcs {
+		keys := autoRegionKeys(fd)
+		if keys == nil {
+			continue
+		}
+		fd.Body = &ast.Block{P: fd.Body.P, Stmts: []ast.Stmt{
+			&ast.DynamicRegion{P: fd.Body.P, Keys: keys, Body: fd.Body, Auto: true},
+		}}
+		n++
+	}
+	ctx.NoteChanges(n)
+	return nil
+}
+
+// maxAutoKeys caps the speculated key tuple; DYNENTER stages keys through
+// at most three shuttle registers (codegen/emit.go).
+const maxAutoKeys = 3
+
+// autoRegionKeys decides whether fd is a promotion candidate and, if so,
+// returns the parameter names to speculate on (nil otherwise). The filter
+// is deliberately conservative — rejecting a function only costs a missed
+// speculation, while accepting a bad one costs correctness:
+//
+//   - the body must not already contain a dynamicRegion (no nesting), any
+//     call (set-up shareability and region semantics stop at calls), any
+//     goto or label (region edge checks), or any address-of (an
+//     address-taken parameter lives on the stack, where region key
+//     resolution cannot see it);
+//   - keys are scalar `int` parameters that the body reads but never
+//     writes and never shadows. Pointer and array parameters are never
+//     keys or constants: automatic promotion must not assume memory
+//     contents are stable — only the programmer's annotation may claim
+//     that — so loads through them stay non-constant, which is safe.
+func autoRegionKeys(fd *ast.FuncDecl) []string {
+	if fd.Body == nil || len(fd.Params) == 0 {
+		return nil
+	}
+	w := &autoWalker{
+		assigned: map[string]bool{},
+		used:     map[string]bool{},
+		declared: map[string]bool{},
+	}
+	w.block(fd.Body)
+	if w.reject {
+		return nil
+	}
+	var keys []string
+	for _, p := range fd.Params {
+		if len(keys) == maxAutoKeys {
+			break
+		}
+		t := p.Type
+		if t == nil || t.Base != token.KwInt || t.Ptr != 0 || len(t.ArrayLens) != 0 {
+			continue
+		}
+		if w.used[p.Name] && !w.assigned[p.Name] && !w.declared[p.Name] {
+			keys = append(keys, p.Name)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	return keys
+}
+
+// autoWalker scans a function body for disqualifying constructs and
+// records which names are read, written and locally re-declared.
+type autoWalker struct {
+	reject   bool
+	assigned map[string]bool
+	used     map[string]bool
+	declared map[string]bool
+}
+
+func (w *autoWalker) stmt(s ast.Stmt) {
+	if w.reject || s == nil {
+		return
+	}
+	switch x := s.(type) {
+	case *ast.Block:
+		w.block(x)
+	case *ast.DeclStmt:
+		for _, d := range x.Decls {
+			w.declared[d.Name] = true
+			w.expr(d.Init)
+		}
+	case *ast.ExprStmt:
+		w.expr(x.X)
+	case *ast.EmptyStmt, *ast.Break, *ast.Continue, *ast.Case:
+	case *ast.If:
+		w.expr(x.Cond)
+		w.stmt(x.Then)
+		w.stmt(x.Else)
+	case *ast.While:
+		w.expr(x.Cond)
+		w.stmt(x.Body)
+	case *ast.DoWhile:
+		w.stmt(x.Body)
+		w.expr(x.Cond)
+	case *ast.For:
+		w.stmt(x.Init)
+		w.expr(x.Cond)
+		w.expr(x.Post)
+		w.stmt(x.Body)
+	case *ast.Switch:
+		w.expr(x.Tag)
+		w.block(x.Body)
+	case *ast.Return:
+		w.expr(x.X)
+	case *ast.Goto, *ast.LabeledStmt, *ast.DynamicRegion:
+		w.reject = true
+	default:
+		w.reject = true
+	}
+}
+
+func (w *autoWalker) block(b *ast.Block) {
+	for _, s := range b.Stmts {
+		w.stmt(s)
+	}
+}
+
+func (w *autoWalker) expr(e ast.Expr) {
+	if w.reject || e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		w.used[x.Name] = true
+	case *ast.IntLit, *ast.FloatLit, *ast.StringLit, *ast.SizeofType:
+	case *ast.Unary:
+		if x.Op == token.AMP {
+			w.reject = true
+			return
+		}
+		if x.Op == token.INC || x.Op == token.DEC {
+			w.markAssigned(x.X)
+		}
+		w.expr(x.X)
+	case *ast.PostIncDec:
+		w.markAssigned(x.X)
+		w.expr(x.X)
+	case *ast.Binary:
+		w.expr(x.L)
+		w.expr(x.R)
+	case *ast.Assign:
+		w.markAssigned(x.L)
+		w.expr(x.L)
+		w.expr(x.R)
+	case *ast.Cond:
+		w.expr(x.C)
+		w.expr(x.T)
+		w.expr(x.F)
+	case *ast.Call:
+		w.reject = true
+	case *ast.Index:
+		w.expr(x.X)
+		w.expr(x.I)
+	case *ast.Field:
+		w.expr(x.X)
+	case *ast.Cast:
+		w.expr(x.X)
+	default:
+		w.reject = true
+	}
+}
+
+// markAssigned records the root identifier of an assignment target; stores
+// through pointers or into arrays do not disqualify the base name (only
+// direct writes to a scalar do).
+func (w *autoWalker) markAssigned(l ast.Expr) {
+	if id, ok := l.(*ast.Ident); ok {
+		w.assigned[id.Name] = true
+	}
+}

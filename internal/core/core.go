@@ -39,6 +39,17 @@ type Config struct {
 	// cost ("merging these components into a single pass should
 	// drastically reduce our dynamic compilation costs").
 	MergedStitch bool
+	// AutoRegion enables profile-guided automatic region promotion: the
+	// `autoregion` pass rewrites eligible *unannotated* functions into
+	// keyed dynamic regions marked Auto, and the runtime profiles each one,
+	// stitching only once its key operands prove hot and stable — with
+	// GUARD instructions in the stitched code that deoptimize back to the
+	// generic tier when a speculated operand changes. See
+	// DESIGN.md "Speculative promotion". Requires Dynamic.
+	AutoRegion bool
+	// Auto tunes the runtime's promotion policy (thresholds, stability
+	// window, deopt backoff); the zero value selects rtr's defaults.
+	Auto rtr.AutoOptions
 	// DisablePasses names pipeline passes to skip, for ablation and
 	// debugging (e.g. "dce", "cse", or the whole "optimize" group).
 	// Structural passes (parse, lower, ssa, split, codegen) cannot be
@@ -95,6 +106,10 @@ func verifyAllEnv() bool { return os.Getenv("DYNCC_VERIFY_ALL") != "" }
 func newPipeline(cfg Config) *pipeline.Manager {
 	mgr := pipeline.New()
 	mgr.Register(passParse{})
+	// Automatic region promotion rewrites the AST before lowering; optional
+	// so `-disable-pass autoregion` ablates speculation while keeping the
+	// rest of a Config.AutoRegion build identical.
+	mgr.RegisterOptional(passAutoRegion{enabled: cfg.AutoRegion && cfg.Dynamic})
 	mgr.Register(passLower{})
 	mgr.Register(passSSA{})
 	if cfg.Optimize {
@@ -143,6 +158,7 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 	c.Runtime = rtr.New(out.Prog, out.Regions, rtr.Options{
 		Stitcher: cfg.Stitcher,
 		Cache:    cfg.Cache,
+		Auto:     cfg.Auto,
 	})
 	if cfg.Dynamic && cfg.MergedStitch {
 		for _, ri := range ctx.Regions {
@@ -152,13 +168,15 @@ func Compile(src string, cfg Config) (*Compiled, error) {
 			}
 		}
 	}
-	if cfg.Dynamic && cfg.Cache.AsyncStitch {
+	if cfg.Dynamic && (cfg.Cache.AsyncStitch || cfg.AutoRegion) {
 		// Background stitching needs to rebuild a region's table from the
 		// key bytes alone, with no machine. That is exactly the Shareable
 		// proof (codegen/share.go): set-up consumes nothing but key values
 		// and machine-independent constants. Install a key-driven set-up
 		// evaluator for every keyed shareable region; regions without one
-		// keep stitching inline.
+		// keep stitching inline. AutoRegion builds install them too so the
+		// promotion machinery's generic tier and any future background
+		// stitches of promoted regions have the same key-only path.
 		for _, ri := range ctx.Regions {
 			if ri.Split != nil && ri.Index < len(out.Regions) &&
 				out.Regions[ri.Index].Shareable && len(ri.Region.Keys) > 0 {

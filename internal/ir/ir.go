@@ -310,6 +310,10 @@ type Region struct {
 
 	// Filled by the splitter.
 	TableSize int // region-level table slots (incl. loop header slots)
+
+	// Auto marks regions synthesized by the autoregion pass (speculative
+	// promotion) rather than annotated in the source.
+	Auto bool
 }
 
 // Blocks returns all blocks belonging to the region (by membership mark).

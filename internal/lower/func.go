@@ -605,6 +605,7 @@ func (fl *funcLowerer) dynamicRegion(x *ast.DynamicRegion) {
 		}
 		return vs
 	}
+	r.Auto = x.Auto
 	r.KeyNames = x.Keys
 	r.ConstNames = x.Consts
 	r.KeyVars = resolve(x.Keys)

@@ -237,6 +237,10 @@ func (rt *Runtime) runJob(job stitchJob) {
 		if err == nil {
 			seg, stats, err = stitcher.Stitch(r, mem, tbl, rt.Prog.Segs[r.FuncID], rt.Opts.Stitcher)
 		}
+		if err == nil {
+			// Auto regions: guard-wrap before publish/persist (promote.go).
+			seg, err = guardStitch(r, seg, job.key)
+		}
 	}
 	e.seg, e.err = seg, err
 	close(e.done)

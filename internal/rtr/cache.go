@@ -310,6 +310,12 @@ func (rt *Runtime) stitchShared(m *vm.Machine, region int, key string,
 	}
 
 	seg, stats, err := stitcher.Stitch(r, m.Mem, tbl, m.Prog.Segs[r.FuncID], rt.Opts.Stitcher)
+	if err == nil {
+		// Auto regions: wrap in deoptimization guards before the segment is
+		// published or persisted, so every consumer — waiters, adopting
+		// machines, the store — sees guarded code (see promote.go).
+		seg, err = guardStitch(r, seg, key)
+	}
 	e.seg, e.err = seg, err
 	close(e.done)
 

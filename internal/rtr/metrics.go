@@ -63,6 +63,15 @@ type CacheStats struct {
 	// background stitches: bucket i counts publishes in [2^(i-1), 2^i) ns.
 	PromoteLatency [PromoteBuckets]uint64
 
+	// Speculative promotion of Auto regions (all zero without them; see
+	// promote.go). Like FallbackRuns these are additive observability —
+	// promotion happens at DYNENTER before any level-1 lookup and
+	// deoptimization at a GUARD, so the lookup invariant above is
+	// untouched. A deopt increments Invalidations too (demotion orphans
+	// stale stitches through the regular invalidation path).
+	Promotions uint64 // profiling→promoted transitions of Auto regions
+	Deopts     uint64 // guard-failure demotions back to profiling
+
 	// Persistent (level-0) store tier (CacheOptions.Store; all zero
 	// without it). These extend — they do not alter — the lookup invariant
 	// above: store consults happen at stitch sites, after the level-1
@@ -144,6 +153,8 @@ func (rt *Runtime) CacheStats() CacheStats {
 	cs.StoreMisses = rt.storeMisses.Load()
 	cs.StorePuts = rt.storePutCount.Load()
 	cs.StoreErrors = rt.storeErrors.Load()
+	cs.Promotions = rt.promotions.Load()
+	cs.Deopts = rt.deopts.Load()
 	for i := range rt.promoteHist {
 		cs.PromoteLatency[i] = rt.promoteHist[i].Load()
 	}

@@ -1,0 +1,111 @@
+package rtr
+
+import (
+	"testing"
+
+	"dyncc/internal/tmpl"
+	"dyncc/internal/vm"
+)
+
+// TestWrapGuardsPrefixAndTargets: guard wrapping prepends one GUARD per
+// key with the stitched key values and the region's deopt pc, shifts
+// internal branch targets by the guard count, and leaves parent-segment
+// targets (XFER) alone — on a fresh segment, never mutating the input.
+func TestWrapGuardsPrefixAndTargets(t *testing.T) {
+	r := &tmpl.Region{Name: "r", Auto: true,
+		KeyRegs: []vm.Reg{5, 6}, DeoptPC: 42}
+	parent := &vm.Segment{Name: "p", Code: []vm.Inst{{Op: vm.HALT}}}
+	seg := &vm.Segment{
+		Name: "s",
+		Code: []vm.Inst{
+			{Op: vm.BR, Target: 2},
+			{Op: vm.XFER, Target: 7},
+			{Op: vm.BEQZ, Rs: 1, Target: 0},
+		},
+		Parent:   parent,
+		Region:   0,
+		Stitched: true,
+	}
+	key := encodeKey([]int64{11, -3})
+	ns, err := wrapGuards(r, seg, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns == seg {
+		t.Fatal("wrapGuards must return a fresh segment")
+	}
+	if len(seg.Code) != 3 || seg.Code[0].Target != 2 {
+		t.Fatal("input segment was mutated")
+	}
+	want := []vm.Inst{
+		{Op: vm.GUARD, Rs: 5, Imm: 11, Target: 42},
+		{Op: vm.GUARD, Rs: 6, Imm: -3, Target: 42},
+		{Op: vm.BR, Target: 4},          // internal: shifted by 2
+		{Op: vm.XFER, Target: 7},        // parent pc: unshifted
+		{Op: vm.BEQZ, Rs: 1, Target: 2}, // internal: shifted by 2
+	}
+	if len(ns.Code) != len(want) {
+		t.Fatalf("code length %d, want %d", len(ns.Code), len(want))
+	}
+	for i, in := range want {
+		if ns.Code[i] != in {
+			t.Fatalf("inst %d: got %v, want %v", i, ns.Code[i], in)
+		}
+	}
+	if ns.Parent != parent || !ns.Stitched || ns.Region != 0 || ns.Name != "s" {
+		t.Fatal("segment metadata not carried over")
+	}
+}
+
+// TestWrapGuardsNoKeys: regions without key registers pass through
+// unchanged (nothing to guard).
+func TestWrapGuardsNoKeys(t *testing.T) {
+	r := &tmpl.Region{Name: "r", Auto: true}
+	seg := &vm.Segment{Name: "s", Code: []vm.Inst{{Op: vm.HALT}}}
+	ns, err := wrapGuards(r, seg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != seg {
+		t.Fatal("keyless region should pass through unwrapped")
+	}
+}
+
+// TestWrapGuardsRejectsJumpTables: stitched segments never carry jump
+// tables; a segment that somehow does must be refused, not emitted with
+// stale table targets.
+func TestWrapGuardsRejectsJumpTables(t *testing.T) {
+	r := &tmpl.Region{Name: "r", Auto: true, KeyRegs: []vm.Reg{5}, DeoptPC: 1}
+	seg := &vm.Segment{Name: "s",
+		Code:       []vm.Inst{{Op: vm.HALT}},
+		JumpTables: [][]int{{0}},
+	}
+	if _, err := wrapGuards(r, seg, encodeKey([]int64{1})); err == nil {
+		t.Fatal("expected an error for a segment with jump tables")
+	}
+}
+
+// TestAutoOptionsDefaults: zero-value options resolve to the documented
+// defaults, and explicit values pass through.
+func TestAutoOptionsDefaults(t *testing.T) {
+	var o AutoOptions
+	if o.promoteThreshold() != DefaultPromoteThreshold {
+		t.Errorf("promoteThreshold: %d", o.promoteThreshold())
+	}
+	if o.backoffFactor() != DefaultBackoffFactor {
+		t.Errorf("backoffFactor: %d", o.backoffFactor())
+	}
+	if o.maxThreshold() != DefaultMaxThreshold {
+		t.Errorf("maxThreshold: %d", o.maxThreshold())
+	}
+	o = AutoOptions{PromoteThreshold: 5, BackoffFactor: 7, MaxThreshold: 99}
+	if o.promoteThreshold() != 5 || o.backoffFactor() != 7 || o.maxThreshold() != 99 {
+		t.Errorf("explicit options not honored: %+v", o)
+	}
+	// A backoff factor below 2 would never grow the threshold (livelock);
+	// it falls back to the default.
+	o = AutoOptions{BackoffFactor: 1}
+	if o.backoffFactor() != DefaultBackoffFactor {
+		t.Errorf("backoffFactor(1): %d", o.backoffFactor())
+	}
+}

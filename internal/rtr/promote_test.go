@@ -1,0 +1,184 @@
+package rtr_test
+
+import (
+	"sync"
+	"testing"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+)
+
+// autoSrc is an automatic-promotion candidate: no annotations, scalar int
+// params (both become speculation keys), no calls, no address-of.
+const autoSrc = `
+int f(int k, int x) {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 3; i++) {
+        acc = acc + k * x + i;
+    }
+    return acc;
+}`
+
+func autoExpect(k, x int64) int64 {
+	var acc int64
+	for i := int64(0); i < 3; i++ {
+		acc += k*x + i
+	}
+	return acc
+}
+
+func compileAuto(t *testing.T, opts rtr.AutoOptions, cache rtr.CacheOptions) *core.Compiled {
+	t.Helper()
+	c, err := core.Compile(autoSrc, core.Config{
+		Dynamic: true, Optimize: true, AutoRegion: true,
+		Auto: opts, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Output.Regions) != 1 || !c.Output.Regions[0].Auto {
+		t.Fatalf("expected one Auto region, got %d", len(c.Output.Regions))
+	}
+	return c
+}
+
+// TestAutoPromoteAndDeopt is the single-machine state-machine walk:
+// profiling on the generic tier, promotion once hot and stable, a stitch,
+// then a guard-failure demotion when the key changes — every call correct.
+func TestAutoPromoteAndDeopt(t *testing.T) {
+	c := compileAuto(t, rtr.AutoOptions{PromoteThreshold: 4, StabilityWindow: 2},
+		rtr.CacheOptions{})
+	m := c.NewMachine(0)
+	for i := 0; i < 10; i++ {
+		if got, err := m.Call("f", 3, 7); err != nil || got != autoExpect(3, 7) {
+			t.Fatalf("call %d: %d, %v", i, got, err)
+		}
+	}
+	cs := c.Runtime.CacheStats()
+	if cs.Promotions != 1 || cs.Deopts != 0 {
+		t.Fatalf("stable: %d promotions %d deopts, want 1/0", cs.Promotions, cs.Deopts)
+	}
+	if cs.FallbackRuns == 0 {
+		t.Fatal("profiling calls should run on the generic tier")
+	}
+	if cs.Stitches == 0 {
+		t.Fatal("promotion should have stitched")
+	}
+	if got, err := m.Call("f", 5, 7); err != nil || got != autoExpect(5, 7) {
+		t.Fatalf("flip: %d, %v", got, err)
+	}
+	cs = c.Runtime.CacheStats()
+	if cs.Deopts != 1 {
+		t.Fatalf("flip: %d deopts, want 1", cs.Deopts)
+	}
+	// Demotion re-earns stability with a backed-off threshold; calls keep
+	// being correct on the generic tier meanwhile.
+	for i := 0; i < 40; i++ {
+		if got, err := m.Call("f", 5, 7); err != nil || got != autoExpect(5, 7) {
+			t.Fatalf("re-stable %d: %d, %v", i, got, err)
+		}
+	}
+	cs = c.Runtime.CacheStats()
+	if cs.Promotions != 2 {
+		t.Fatalf("re-promotion: %d promotions, want 2", cs.Promotions)
+	}
+}
+
+// TestAutoConcurrentPromotionInvalidation races everything the promotion
+// machinery touches: several machines executing (promoting, hitting guards
+// on key flips, deopting) while another goroutine hammers Invalidate and
+// InvalidateKey on the same region. Every call must stay correct, and the
+// shared-cache lookup invariant — Lookups == SharedHits + Waits +
+// FailedHits + Misses — must hold with the new counters in play. Run
+// under -race (make check does).
+func TestAutoConcurrentPromotionInvalidation(t *testing.T) {
+	c := compileAuto(t,
+		rtr.AutoOptions{PromoteThreshold: 2, StabilityWindow: 2, BackoffFactor: 2, MaxThreshold: 4},
+		rtr.CacheOptions{})
+	const (
+		machines = 6
+		rounds   = 300
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, machines)
+	for g := 0; g < machines; g++ {
+		m := c.NewMachine(0)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Phases of stable keys with per-goroutine flip points, so
+				// promotions and guard failures interleave across machines.
+				k := int64(3 + (i/(20+id))%3)
+				got, err := m.Call("f", k, 7)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != autoExpect(k, 7) {
+					errc <- &mismatchError{id: id, i: i, got: got, want: autoExpect(k, 7)}
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				c.Runtime.Invalidate(0)
+			} else {
+				c.Runtime.InvalidateKey(0, int64(3+i%3), 7)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	cs := c.Runtime.CacheStats()
+	if cs.Lookups != cs.SharedHits+cs.Waits+cs.FailedHits+cs.Misses {
+		t.Fatalf("lookup invariant violated: %+v", cs)
+	}
+	// Deopts orphan stale stitches via the invalidation path, so
+	// invalidations must be at least the explicit 200 plus the deopts.
+	if cs.Invalidations < 200+cs.Deopts {
+		t.Fatalf("invalidations %d < 200 explicit + %d deopts", cs.Invalidations, cs.Deopts)
+	}
+	t.Logf("%d promotions, %d deopts, %d stitches, %d lookups",
+		cs.Promotions, cs.Deopts, cs.Stitches, cs.Lookups)
+}
+
+type mismatchError struct {
+	id, i     int
+	got, want int64
+}
+
+func (e *mismatchError) Error() string {
+	return "machine result mismatch"
+}
+
+// TestAutoUnpromotedNeverStitches: with an unreachable threshold the
+// region stays in the profiling state forever — every call runs on the
+// generic tier and the stitcher is never invoked.
+func TestAutoUnpromotedNeverStitches(t *testing.T) {
+	c := compileAuto(t, rtr.AutoOptions{PromoteThreshold: 1 << 40}, rtr.CacheOptions{})
+	m := c.NewMachine(0)
+	for i := 0; i < 30; i++ {
+		if got, err := m.Call("f", 3, 7); err != nil || got != autoExpect(3, 7) {
+			t.Fatalf("call %d: %d, %v", i, got, err)
+		}
+	}
+	cs := c.Runtime.CacheStats()
+	if cs.Promotions != 0 || cs.Stitches != 0 {
+		t.Fatalf("unreachable threshold: %d promotions %d stitches, want 0/0", cs.Promotions, cs.Stitches)
+	}
+	if cs.FallbackRuns == 0 {
+		t.Fatal("profiling calls should run on the generic tier")
+	}
+}

@@ -61,6 +61,9 @@ import (
 type Options struct {
 	Stitcher stitcher.Options
 	Cache    CacheOptions
+	// Auto tunes speculative promotion of Auto regions (see promote.go);
+	// inert for programs without them.
+	Auto AutoOptions
 }
 
 // Runtime manages stitched code for one program across any number of
@@ -147,6 +150,13 @@ type Runtime struct {
 	asyncDiscards atomic.Uint64
 	promoteHist   [PromoteBuckets]atomic.Uint64
 
+	// Speculative promotion state for Auto regions (see promote.go).
+	// auto is nil unless the program has at least one Auto region;
+	// everything here is inert otherwise.
+	auto       []autoState
+	promotions atomic.Uint64
+	deopts     atomic.Uint64
+
 	// Persistent (level-0) store state (see store.go). storeOps and
 	// storeQuit are nil unless CacheOptions.Store is set; everything here
 	// is inert otherwise.
@@ -202,6 +212,9 @@ func New(prog *vm.Program, regions []*tmpl.Region, opts Options) *Runtime {
 		rt.storeOps = make(chan storeOp, q)
 		rt.storeQuit = make(chan struct{})
 		rt.storeFp = make([][]byte, len(regions))
+	}
+	if hasAuto(regions) {
+		rt.initAuto()
 	}
 	return rt
 }
@@ -326,6 +339,7 @@ type machineState struct {
 	cache    []map[string]*l2slot // region -> key bytes -> slot
 	pending  []string             // region -> key awaiting DYNSTITCH
 	fallback []bool               // region -> DYNSTITCH takes the generic tier
+	mono     []*vm.Segment        // region -> monomorphic segment (promoted Auto regions)
 	keyBuf   []byte               // reusable key-encoding buffer
 	gen      []uint64             // per-region generation snapshot
 	fifo     []l2ref              // insertion order for second-chance eviction
@@ -339,6 +353,7 @@ func newMachineState(rt *Runtime) *machineState {
 		cache:    make([]map[string]*l2slot, n),
 		pending:  make([]string, n),
 		fallback: make([]bool, n),
+		mono:     make([]*vm.Segment, n),
 		keyBuf:   make([]byte, 0, 64),
 		gen:      make([]uint64, n),
 		max:      rt.Opts.Cache.MachineMaxEntries,
@@ -398,6 +413,7 @@ func (ms *machineState) flushRegion(region int, gen uint64) {
 	ms.cache[region] = nil
 	ms.pending[region] = ""
 	ms.fallback[region] = false
+	ms.mono[region] = nil
 	ms.gen[region] = gen
 	ms.compact()
 }
@@ -431,6 +447,9 @@ func (rt *Runtime) Attach(m *vm.Machine) {
 		if g := rt.gens[region].Load(); g != ms.gen[region] {
 			ms.flushRegion(region, g) // invalidated since we last looked
 		}
+		if r.Auto && rt.auto != nil {
+			return rt.autoEnter(m, ms, region, r)
+		}
 		key := appendKey(ms.keyBuf[:0], m, r)
 		ms.keyBuf = key
 		if slot, ok := ms.cache[region][string(key)]; ok {
@@ -451,6 +470,15 @@ func (rt *Runtime) Attach(m *vm.Machine) {
 			rt.fallbackRuns.Add(1)
 			return rt.generic(region), nil
 		}
+		if r := rt.Regions[region]; r.Auto && rt.auto != nil && !rt.isPromoted(region) {
+			// Profiling state of an Auto region: run on the generic tier so
+			// an unstable region never pays specialization costs. Regions
+			// the generic renderer cannot express stitch inline as always.
+			if gseg := rt.generic(region); gseg != nil {
+				rt.fallbackRuns.Add(1)
+				return gseg, nil
+			}
+		}
 		return rt.stitchNow(m, ms, region, key, m.Regs[vm.RScratch])
 	}
 	m.OnReset = func(m *vm.Machine) {
@@ -463,10 +491,22 @@ func (rt *Runtime) Attach(m *vm.Machine) {
 			ms.cache[i] = nil
 			ms.pending[i] = ""
 			ms.fallback[i] = false
+			ms.mono[i] = nil
 			ms.gen[i] = rt.gens[i].Load()
 		}
 		ms.fifo = nil
 		ms.count = 0
+	}
+	if rt.auto != nil {
+		m.OnDeopt = func(m *vm.Machine, region int) {
+			// A GUARD failed in this machine's stitched copy: demote the
+			// region runtime-wide (bumping its generation so stale stitches
+			// are orphaned everywhere), then flush this machine's copies
+			// immediately — its next DYNENTER must not resurrect the
+			// segment the guard just rejected.
+			rt.onDeopt(region)
+			ms.flushRegion(region, rt.gens[region].Load())
+		}
 	}
 }
 
@@ -547,6 +587,9 @@ func (rt *Runtime) stitchNow(m *vm.Machine, ms *machineState, region int,
 		seg, stats, err = rt.stitchShared(m, region, key, tbl)
 	} else {
 		seg, stats, err = stitcher.Stitch(r, m.Mem, tbl, m.Prog.Segs[r.FuncID], rt.Opts.Stitcher)
+		if err == nil {
+			seg, err = guardStitch(r, seg, key)
+		}
 		if err == nil {
 			rt.privateStitches.Add(1)
 			rt.countStencil(stats)

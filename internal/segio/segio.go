@@ -39,7 +39,12 @@ import (
 
 // Version is the encoding format version. Bump on any change to the wire
 // layout, vm.Inst's fields, or opcode numbering.
-const Version = 1
+//
+// v2: the GUARD opcode was appended to the instruction set (speculative
+// promotion, rtr/promote.go). Existing opcode numbers are unchanged, but a
+// v1 store could hold pre-guard stitches of what is now an Auto region, so
+// v1 entries are orphaned wholesale per the discipline above.
+const Version = 2
 
 // magic identifies a segio-encoded segment file.
 var magic = [4]byte{'d', 's', 'e', 'g'}

@@ -1,0 +1,140 @@
+// Automatic-promotion differential testing: the same generated corpus as
+// Run, but with every annotation *stripped* — region headers, `unrolled`
+// markers, `dynamic[...]` load hints — so the programs are plain MiniC.
+// The speculative pipeline (core.Config.AutoRegion) must then rediscover
+// profitable regions on its own, promote them once their operands prove
+// hot and stable, stitch guarded code, and deoptimize when an operand
+// changes — all without ever diverging from the unoptimized-IR reference.
+// Each input is run repeatedly so the key tuple stabilizes (promotion) and
+// every input change flips it (deoptimization): one sweep exercises the
+// full profile → promote → guard → deopt → re-promote cycle.
+package testgen
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+)
+
+var regionHeaderRe = regexp.MustCompile(`dynamicRegion[^{]*\{`)
+
+// StripAnnotations removes every dynamic-compilation annotation from
+// generated MiniC source, leaving a plain program with identical
+// semantics: region headers collapse to bare blocks, `unrolled for`
+// becomes `for`, and `dynamic[` load hints become plain indexing.
+func StripAnnotations(src string) string {
+	s := regionHeaderRe.ReplaceAllString(src, "{")
+	s = strings.ReplaceAll(s, "unrolled for", "for")
+	s = strings.ReplaceAll(s, " dynamic[", "[")
+	return s
+}
+
+// AutoStats aggregates the promotion activity a RunAuto sweep observed, so
+// corpus-level tests can assert the machinery actually engaged (at least
+// one promotion and one deoptimization across the corpus) rather than
+// silently running everything unspecialized.
+type AutoStats struct {
+	Promotions uint64
+	Deopts     uint64
+}
+
+// autoRepeats is how many times each (c, x) input is re-run under the
+// speculative subject: enough consecutive identical key tuples to clear
+// the aggressive promotion thresholds below, so every input change lands
+// on promoted guarded code and exercises deoptimization.
+const autoRepeats = 5
+
+// autoOpts are deliberately aggressive promotion thresholds for testing:
+// promote after 3 calls with a 2-deep stability window, back off gently so
+// regions re-promote (and re-deopt) several times within one sweep.
+var autoOpts = rtr.AutoOptions{
+	PromoteThreshold: 3,
+	StabilityWindow:  2,
+	BackoffFactor:    2,
+	MaxThreshold:     8,
+}
+
+// RunAuto generates the program for seed, strips its annotations, and
+// differentially executes four subjects against the unoptimized-IR
+// reference:
+//
+//   - the annotated dynamic pipeline (anchor — the corpus still passes the
+//     ordinary differential);
+//   - the stripped source without AutoRegion (the rewrite target must be
+//     semantics-preserving before speculation enters);
+//   - the stripped source with AutoRegion and aggressive thresholds, each
+//     input repeated so regions promote, guard and deoptimize;
+//   - the stripped source with AutoRegion set but the `autoregion` pass
+//     ablated (`-disable-pass autoregion` must fully neutralize it).
+//
+// Returns the promotion activity of the speculative subject for
+// corpus-level assertions.
+func RunAuto(seed, cIn, xIn int64) (AutoStats, error) {
+	var as AutoStats
+	tc, err := buildCase(seed, cIn, xIn)
+	if err != nil {
+		return as, err
+	}
+	stripped := StripAnnotations(tc.src)
+
+	if err := tc.checkSubject("auto:annotated",
+		core.Config{Dynamic: true, Optimize: true}); err != nil {
+		return as, err
+	}
+	if err := tc.checkAuto("auto:off", stripped,
+		core.Config{Dynamic: true, Optimize: true}, nil); err != nil {
+		return as, err
+	}
+	on := core.Config{Dynamic: true, Optimize: true,
+		AutoRegion: true, Auto: autoOpts}
+	if err := tc.checkAuto("auto:on", stripped, on, &as); err != nil {
+		return as, err
+	}
+	ablated := on
+	ablated.DisablePasses = []string{"autoregion"}
+	if err := tc.checkAuto("auto:ablated", stripped, ablated, nil); err != nil {
+		return as, err
+	}
+	return as, nil
+}
+
+// checkAuto compiles src under cfg and runs every input autoRepeats times,
+// comparing each result against the reference outputs. When as is non-nil
+// the subject's promotion counters are folded into it.
+func (tc *testCase) checkAuto(name, src string, cfg core.Config,
+	as *AutoStats) error {
+
+	p, err := core.Compile(src, cfg)
+	if err != nil {
+		return fmt.Errorf("%s compile: %w\n%s", name, err, src)
+	}
+	defer p.Runtime.Close()
+	m := p.NewMachine(0)
+	va, err := m.Alloc(tc.n)
+	if err != nil {
+		return fmt.Errorf("%s alloc: %w", name, err)
+	}
+	copy(m.Mem[va:va+tc.n], tc.contents)
+	for i, x := range tc.xs {
+		for rep := 0; rep < autoRepeats; rep++ {
+			got, err := m.Call("f", va, tc.n, tc.c, x)
+			if err != nil {
+				return fmt.Errorf("%s run (c=%d x=%d rep=%d): %w\n%s",
+					name, tc.c, x, rep, err, src)
+			}
+			if got != tc.want[i] {
+				return fmt.Errorf("%s diverges (seed=%d c=%d x=%d rep=%d): got %d, reference %d\n%s",
+					name, tc.seed, tc.c, x, rep, got, tc.want[i], src)
+			}
+		}
+	}
+	if as != nil {
+		cs := p.Runtime.CacheStats()
+		as.Promotions += cs.Promotions
+		as.Deopts += cs.Deopts
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package testgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAutoFixedSeeds sweeps the automatic-promotion differential over a
+// fixed block of seeds: annotation-stripped programs under speculative
+// promotion must match the unoptimized-IR reference byte for byte, and the
+// corpus as a whole must actually exercise the machinery — at least one
+// promotion and one deoptimization observed across the sweep.
+func TestAutoFixedSeeds(t *testing.T) {
+	n := int64(150)
+	if testing.Short() {
+		n = 25
+	}
+	var total AutoStats
+	for seed := int64(1); seed <= n; seed++ {
+		r := rand.New(rand.NewSource(seed * 7919))
+		c := int64(r.Intn(1024) - 512)
+		x := int64(r.Intn(4000) - 2000)
+		as, err := RunAuto(seed, c, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Promotions += as.Promotions
+		total.Deopts += as.Deopts
+	}
+	t.Logf("corpus: %d promotions, %d deopts", total.Promotions, total.Deopts)
+	if total.Promotions == 0 {
+		t.Fatalf("sweep never promoted a region: the speculative tier was not exercised")
+	}
+	if total.Deopts == 0 {
+		t.Fatalf("sweep never deoptimized: guard failures were not exercised")
+	}
+}
+
+// FuzzAuto explores the annotation-stripped speculative differential
+// beyond the fixed block: any divergence between promoted guarded code and
+// the reference is a crash.
+func FuzzAuto(f *testing.F) {
+	f.Add(int64(1), int64(7), int64(42))
+	f.Add(int64(17), int64(511), int64(-999))
+	f.Add(int64(1234), int64(-512), int64(7))
+	f.Fuzz(func(t *testing.T, seed, c, x int64) {
+		if _, err := RunAuto(seed, c, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -327,15 +327,17 @@ func Run(seed, cIn, xIn int64) error {
 }
 
 // AblationPasses lists the disableable passes RunAblation knocks out one
-// at a time: every optimizer sub-pass, plus the stencil precompilation
-// pass (whose ablation falls back to interpretive stitching).
+// at a time: every optimizer sub-pass, the stencil precompilation pass
+// (whose ablation falls back to interpretive stitching), and the
+// autoregion speculation pass (whose ablation must leave a Config.
+// AutoRegion build behaviourally identical to a plain dynamic build).
 func AblationPasses() []string {
 	subs := opt.SubPasses()
-	names := make([]string, 0, len(subs)+1)
+	names := make([]string, 0, len(subs)+2)
 	for _, sp := range subs {
 		names = append(names, sp.Name)
 	}
-	return append(names, "stencil")
+	return append(names, "stencil", "autoregion")
 }
 
 // RunAblation is the pipeline's pass-ablation differential: for each
@@ -352,6 +354,12 @@ func RunAblation(seed, cIn, xIn int64) error {
 	for _, pass := range AblationPasses() {
 		cfg := core.Config{Dynamic: true, Optimize: true,
 			DisablePasses: []string{pass}}
+		if pass == "autoregion" {
+			// Ablating speculation is only meaningful when it was asked
+			// for: request AutoRegion and require the knocked-out pass to
+			// fully neutralize it.
+			cfg.AutoRegion = true
+		}
 		if err := tc.checkSubject("ablate:"+pass, cfg); err != nil {
 			return err
 		}

@@ -119,6 +119,14 @@ type Region struct {
 	// disabled or precompilation declined the region; the stitcher then
 	// falls back to interpreting the template structure directly.
 	Stencil *Stencil
+
+	// Auto marks regions synthesized by the autoregion pass. The runtime
+	// profiles such regions before stitching them, wraps their stitched
+	// code in GUARD instructions, and deoptimizes to DeoptPC — the pc of
+	// the region's set-up entry in the containing function segment — when
+	// a speculated key changes.
+	Auto    bool
+	DeoptPC int
 }
 
 // TemplateInsts returns the total template instruction count.

@@ -40,7 +40,7 @@ func Cost(op Op) uint64 {
 		return CostLoad
 	case ST:
 		return CostStore
-	case BEQZ, BNEZ, BEQI, BR, XFER:
+	case BEQZ, BNEZ, BEQI, BR, XFER, GUARD:
 		return CostBranch
 	case JTBL:
 		return CostJTBL

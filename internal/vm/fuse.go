@@ -166,7 +166,7 @@ func (f *fuser) sameAttr(a, b int) bool {
 func isControl(op Op) bool {
 	switch op {
 	case BEQZ, BNEZ, BEQI, BR, CMPBR, CMPBRI, JTBL, CALL, RET, XFER, HALT,
-		DYNENTER, DYNSTITCH:
+		DYNENTER, DYNSTITCH, GUARD:
 		return true
 	}
 	return false
@@ -176,7 +176,7 @@ func isControl(op Op) bool {
 // leave the segment (call, hook dispatch, indirect or inter-segment jump).
 func isBarrier(op Op) bool {
 	switch op {
-	case JTBL, CALL, RET, XFER, HALT, DYNENTER, DYNSTITCH:
+	case JTBL, CALL, RET, XFER, HALT, DYNENTER, DYNSTITCH, GUARD:
 		return true
 	}
 	return false

@@ -145,6 +145,14 @@ const (
 	LDOPR  // Rd = Mem[Rs+Imm] subop Rt; ALU op in Sub
 	MADDI  // Rd = Rt + Rs*Imm (fused MULI+ADD address arithmetic)
 
+	// GUARD is a speculation check, synthesized only by the runtime when it
+	// wraps stitched code for an automatically promoted region: if Rs != Imm
+	// the speculated constant no longer matches the live value, so control
+	// deoptimizes to Target in the segment's *parent* (the region's set-up
+	// entry), after notifying the OnDeopt hook. Like XFER, its Target is a
+	// parent-segment pc. The static compiler never emits it.
+	GUARD
+
 	numOps
 )
 
@@ -167,6 +175,7 @@ var opNames = [numOps]string{
 	CALL: "call", RET: "ret", XFER: "xfer", HALT: "halt",
 	DYNENTER: "dynenter", DYNSTITCH: "dynstitch",
 	CMPBR: "cmpbr", CMPBRI: "cmpbri", LDOP: "ldop", LDOPR: "ldopr", MADDI: "maddi",
+	GUARD: "guard",
 }
 
 // String returns the opcode mnemonic.
@@ -329,6 +338,8 @@ func (i Inst) String() string {
 		return fmt.Sprintf("jtbl %s, table%d", r(i.Rs), i.Imm)
 	case XFER:
 		return fmt.Sprintf("xfer @%d", i.Target)
+	case GUARD:
+		return fmt.Sprintf("guard %s, %d, @%d", r(i.Rs), i.Imm, i.Target)
 	case CALL:
 		return fmt.Sprintf("call f%d", i.Imm)
 	case DYNENTER, DYNSTITCH:

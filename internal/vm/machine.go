@@ -56,6 +56,12 @@ type Machine struct {
 	OnDynEnter  func(m *Machine, region int) (*Segment, error)
 	OnDynStitch func(m *Machine, region int) (*Segment, error)
 
+	// OnDeopt is invoked when a GUARD fails in stitched code of an
+	// automatically promoted region, just before control transfers back to
+	// the region's set-up entry in the parent segment. The runtime uses it
+	// to demote the region and orphan its stale stitches.
+	OnDeopt func(m *Machine, region int)
+
 	// OnReset is called by Reset: the runtime invalidates this machine's
 	// stitched-code cache (the memory holding its tables is being wiped).
 	OnReset func(m *Machine)
@@ -616,6 +622,22 @@ func (m *Machine) run(seg *Segment) (int64, error) {
 			pc = in.Target
 			blkEnd = 0
 			continue
+		case GUARD:
+			if rs != in.Imm {
+				if seg.Parent == nil {
+					return m.trap(pl, seg, pc, blkEnd, atRegion, atSetup, "guard failure in segment without parent")
+				}
+				if m.OnDeopt != nil {
+					m.OnDeopt(m, seg.Region)
+				}
+				m.takenCharge(atRC, atSetup)
+				seg = seg.Parent
+				pl = seg.execPlan()
+				code = seg.Code
+				pc = in.Target
+				blkEnd = 0
+				continue
+			}
 
 		case LDOP, LDOPR:
 			a := rs + in.Imm

@@ -119,7 +119,9 @@ func buildPlan(seg *Segment) *execPlan {
 		case BR:
 			mark(in.Target)
 			mark(pc + 1)
-		case JTBL, CALL, RET, XFER, HALT, DYNENTER, DYNSTITCH:
+		case JTBL, CALL, RET, XFER, HALT, DYNENTER, DYNSTITCH, GUARD:
+			// GUARD's taken target is a parent-segment pc (like XFER's),
+			// never a leader in this segment.
 			mark(pc + 1)
 		}
 	}
