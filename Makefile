@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile bench-stitch bench-serve bench-cold bench-auto table2 clean
+.PHONY: all check check-passes race fuzz bench bench-host bench-cache bench-async bench-compile bench-stitch bench-serve bench-cold bench-auto bench-inline table2 clean
 
 all: check
 
@@ -12,8 +12,11 @@ all: check
 # race-enabled Compile/CompileBatch stress run, a fixed-seed differential
 # sweep smoke and a short race-enabled serving run, a race-enabled
 # automatic-promotion sweep smoke (annotation-stripped programs promoting,
-# guarding and deoptimizing against the reference), the differential fuzzer
-# gets a short smoke run over the seed corpus plus fresh inputs, and the
+# guarding and deoptimizing against the reference), a race-enabled
+# call-boundary sweep smoke (call-bearing programs, inlined vs ablated,
+# against the never-inlining reference), the differential and inline
+# fuzzers get short smoke runs over their seed corpora plus fresh inputs,
+# and the
 # suite runs once more with ir.Verify forced between all compiler passes
 # (check-passes), and the persistent-store round trip (compile → persist →
 # fresh runtime serves byte-identical code from the store) runs under the
@@ -32,7 +35,9 @@ check:
 	$(GO) test -short -timeout 120s -run 'TestBatchSweepFixedSeeds' ./internal/testgen
 	$(GO) test -race -short -timeout 180s -run 'TestServeSmall' ./internal/bench
 	$(GO) test -race -short -timeout 180s -run 'TestAutoFixedSeeds' ./internal/testgen
+	$(GO) test -race -short -timeout 180s -run 'TestInlineFixedSeeds' ./internal/testgen
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/testgen
+	$(GO) test -run '^$$' -fuzz FuzzInline -fuzztime 10s ./internal/testgen
 	$(MAKE) check-passes
 
 # Pipeline hardening: the whole suite with ir.Verify interposed after
@@ -101,6 +106,12 @@ bench-cold:
 # region, on a phased-key workload, written to BENCH_9.json.
 bench-auto:
 	$(GO) run ./cmd/dynbench -autoregion -json BENCH_9.json
+
+# Demand-driven inlining: the helper-heavy keyed region inlined vs ablated
+# (`-disable-pass inline`), plus the annotation-stripped subject promoting
+# through its calls, written to BENCH_10.json.
+bench-inline:
+	$(GO) run ./cmd/dynbench -inline -json BENCH_10.json
 
 # Regenerate the paper's tables on stdout.
 table2:

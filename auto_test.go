@@ -154,6 +154,116 @@ func TestAutoDeoptStats(t *testing.T) {
 	}
 }
 
+// autoHelperSrc is an automatic-promotion candidate that calls a small
+// helper. Before the demand-driven inline pass existed, any call
+// disqualified a function from promotion; now an inlinable callee is fine
+// because the graft happens before the region splitter ever sees the body.
+const autoHelperSrc = `
+int scale(int k, int i) {
+    return k * i + (k >> 1);
+}
+
+int hstep(int k, int i, int *a, int n) {
+    int j;
+    int s;
+    s = 0;
+    for (j = 0; j < n; j++) {
+        a[j] = a[j] + scale(k, i);
+        s = s + a[j];
+    }
+    return s ^ k;
+}
+`
+
+// TestAutoPromoteThroughCall: the formerly call-blocked hstep must
+// auto-promote, stitch on its stable key, deoptimize exactly once on a key
+// flip, and stay observably identical to a never-promoted run. With the
+// inline pass ablated, the very same build must refuse to promote — the
+// residual call disqualifies it again.
+func TestAutoPromoteThroughCall(t *testing.T) {
+	cfg := dyncc.Config{
+		Dynamic: true, Optimize: true, AutoRegion: true,
+		AutoPromoteThreshold: 3, AutoStabilityWindow: 2,
+	}
+
+	workload := func(t *testing.T, cfg dyncc.Config) (outs []int64, arr []int64) {
+		t.Helper()
+		p, err := dyncc.Compile(autoHelperSrc, cfg)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		if len(p.IR("hstep").Regions) == 0 {
+			t.Fatalf("helper-calling function did not auto-promote")
+		}
+		if len(p.IR("scale").Regions) != 0 {
+			t.Fatalf("helper destined for grafting was promoted itself")
+		}
+		m := p.NewMachine(0)
+		const n = 5
+		va, err := m.Alloc(n)
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		for c := 0; c < 8; c++ {
+			v, err := m.Call("hstep", 3, 2, va, n)
+			if err != nil {
+				t.Fatalf("hstep: %v", err)
+			}
+			outs = append(outs, v)
+		}
+		for c := 0; c < 8; c++ {
+			v, err := m.Call("hstep", 7, 2, va, n)
+			if err != nil {
+				t.Fatalf("hstep flip: %v", err)
+			}
+			outs = append(outs, v)
+		}
+		arr = append(arr, m.Mem()[va:va+n]...)
+		// The stable phase must actually promote and the flip deoptimize —
+		// unless the thresholds made promotion unreachable (the baseline).
+		cs := p.CacheStats()
+		if cfg.AutoPromoteThreshold < 1<<20 {
+			if cs.Promotions == 0 {
+				t.Fatalf("stable phase never promoted")
+			}
+			if cs.Deopts != 1 {
+				t.Fatalf("key flip: got %d deopts, want 1", cs.Deopts)
+			}
+		}
+		return outs, arr
+	}
+
+	specOuts, specArr := workload(t, cfg)
+	never := cfg
+	never.AutoPromoteThreshold = 1 << 30
+	baseOuts, baseArr := workload(t, never)
+	for i := range specOuts {
+		if specOuts[i] != baseOuts[i] {
+			t.Fatalf("call %d diverges: promoted %d, never-promoted %d",
+				i, specOuts[i], baseOuts[i])
+		}
+	}
+	for i := range specArr {
+		if specArr[i] != baseArr[i] {
+			t.Fatalf("array word %d diverges: promoted %d, never-promoted %d",
+				i, specArr[i], baseArr[i])
+		}
+	}
+
+	// Ablate inlining: the call is residual again, so hstep must not
+	// promote — proof that the lift is what unlocked it. (The call-free
+	// scale is still a candidate on its own; only hstep is the point.)
+	ablated := cfg
+	ablated.DisablePasses = []string{"inline"}
+	p, err := dyncc.Compile(autoHelperSrc, ablated)
+	if err != nil {
+		t.Fatalf("ablated compile: %v", err)
+	}
+	if len(p.IR("hstep").Regions) != 0 {
+		t.Fatalf("inline-ablated build promoted a call-bearing function")
+	}
+}
+
 // TestAutoPhaseChangeHysteresis flips a "stable" operand every few calls —
 // the adversarial workload for speculation. Deoptimization backoff must
 // prevent promote/deopt livelock: deopts grow logarithmically (threshold

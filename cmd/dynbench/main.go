@@ -45,6 +45,12 @@
 // empty on-disk store versus one a previous process populated:
 //
 //	dynbench -coldstart -json BENCH_8.json
+//
+// -inline compares the demand-driven inlining pass against its ablation
+// (`-disable-pass inline`) on a helper-heavy keyed region, plus an
+// annotation-stripped subject that auto-promotes through its calls:
+//
+//	dynbench -inline -json BENCH_10.json
 package main
 
 import (
@@ -83,6 +89,7 @@ type jsonConfig struct {
 	ColdKeys     int    `json:"cold_keys,omitempty"`
 	AutoPhases   int    `json:"auto_phases,omitempty"`
 	AutoPhaseLen int    `json:"auto_phase_len,omitempty"`
+	InlineCalls  int    `json:"inline_calls,omitempty"`
 }
 
 // jsonResults holds one section per benchmark that ran.
@@ -99,6 +106,7 @@ type jsonResults struct {
 	Serve          *bench.ServeResult       `json:"serve,omitempty"`
 	ColdStart      *bench.ColdStartResult   `json:"cold_start,omitempty"`
 	AutoRegion     *bench.AutoRegionResult  `json:"auto_region,omitempty"`
+	Inline         *bench.InlineResult      `json:"inline,omitempty"`
 }
 
 // legacyReport is the pre-envelope flat schema, still accepted by
@@ -154,6 +162,8 @@ func main() {
 	autoregion := flag.Bool("autoregion", false, "run the automatic-promotion comparison (speculative vs static vs hand-annotated)")
 	autoPhases := flag.Int("autophases", 0, "key phases for -autoregion (0 = default 8)")
 	autoPhaseLen := flag.Int("autophaselen", 0, "calls per phase for -autoregion (0 = default 512)")
+	inline := flag.Bool("inline", false, "run the demand-driven inlining comparison (inlined vs -disable-pass inline)")
+	inlineCalls := flag.Int("inlinecalls", 0, "timed calls per subject for -inline (0 = default 20000)")
 	serve := flag.Bool("serve", false, "run the multi-tenant Zipf serving benchmark (batch compile + serve latency)")
 	tenants := flag.Int("tenants", 0, "tenant fleet size for -serve (0 = default 2000)")
 	requests := flag.Int("requests", 0, "total serve requests for -serve (0 = default 100000)")
@@ -309,6 +319,18 @@ func main() {
 		}
 		fmt.Println("Auto region: speculative promotion vs static vs hand-annotated")
 		bench.PrintAutoRegion(os.Stdout, results.AutoRegion)
+		fmt.Println()
+	}
+
+	if *inline {
+		modes = append(modes, "inline")
+		cfgRec.InlineCalls = *inlineCalls
+		results.Inline, err = bench.Inline(*inlineCalls)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Inlining: specialization through call boundaries vs ablated")
+		bench.PrintInline(os.Stdout, results.Inline)
 		fmt.Println()
 	}
 

@@ -82,11 +82,19 @@ type Config struct {
 	AutoBackoffFactor uint64
 	// Cache tunes the runtime's two-level stitch cache.
 	Cache CacheOptions
+	// InlineBudget caps the callee size (IR instructions) the demand-driven
+	// inlining pass will graft through a call boundary: 0 selects the
+	// default (32), negative disables inlining (equivalent to
+	// `-disable-pass inline`). The pass inlines always inside dynamic
+	// regions and their set-up slices, and elsewhere only when an argument
+	// is provably constant; it only runs when Optimize is set. See
+	// DESIGN.md "Demand-driven inlining".
+	InlineBudget int
 	// DisablePasses names compiler pipeline passes to skip, for ablation
-	// and debugging: any optimizer sub-pass ("const-fold", "simplify",
-	// "branch-fold", "copy-prop", "cse", "dce") or the whole "optimize"
-	// group. Structural passes cannot be disabled; unknown names are a
-	// compile error.
+	// and debugging: the "inline" pass, any optimizer sub-pass
+	// ("const-fold", "simplify", "branch-fold", "copy-prop", "cse", "dce")
+	// or the whole "optimize" group. Structural passes cannot be disabled;
+	// unknown names are a compile error.
 	DisablePasses []string
 	// DumpIR, when non-nil, receives a textual IR snapshot of every
 	// function after each module-mutating compiler pass (optimizer
@@ -195,6 +203,7 @@ func (cfg Config) coreConfig() core.Config {
 		Optimize:       cfg.Optimize,
 		MergedStitch:   cfg.MergedStitch,
 		AutoRegion:     cfg.AutoRegion,
+		InlineBudget:   cfg.InlineBudget,
 		DisablePasses:  cfg.DisablePasses,
 		DumpIR:         cfg.DumpIR,
 		CompileWorkers: cfg.CompileWorkers,

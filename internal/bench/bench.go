@@ -75,14 +75,20 @@ type benchmark struct {
 	use   func(m *vm.Machine, state any, i int) error
 }
 
-// compileBoth compiles the benchmark statically and dynamically.
+// compileBoth compiles the benchmark statically and dynamically. Both
+// subjects pin InlineBudget to -1: Table 2/3 reproduce the paper's
+// configuration, which predates the demand-driven inlining extension (the
+// dispatcher row's handler call must stay a call, as in the paper), and
+// the inlining win is measured separately by bench.Inline (BENCH_10).
 func compileBoth(src string, cfg Config) (stat, dyn *core.Compiled, err error) {
 	stat, err = core.Compile(src, core.Config{Dynamic: false, Optimize: true,
-		Stitcher: stitcher.Options{NoFuse: cfg.NoFuse}})
+		InlineBudget: -1,
+		Stitcher:     stitcher.Options{NoFuse: cfg.NoFuse}})
 	if err != nil {
 		return nil, nil, fmt.Errorf("static: %w", err)
 	}
 	dyn, err = core.Compile(src, core.Config{Dynamic: true, Optimize: true,
+		InlineBudget: -1,
 		MergedStitch: cfg.MergedStitch,
 		Cache:        cfg.Cache,
 		Stitcher: stitcher.Options{

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dyncc/internal/core"
+	"dyncc/internal/ir"
+	"dyncc/internal/testgen"
+)
+
+// Inlining benchmark: a helper-heavy keyed region — every element of the
+// unrolled loop goes through a two-deep helper chain — compiled with the
+// demand-driven inline pass on versus ablated (`-disable-pass inline`).
+// Inlined, the chain collapses into straight-line arithmetic the optimizer
+// then folds against the region's run-time constants; ablated, every
+// element pays two VM call frames inside the stitched code. A third
+// subject strips the annotations and relies on automatic promotion — the
+// function is a promotion candidate *only because* its calls are
+// inlinable, so it measures the formerly call-blocked path end to end.
+const (
+	inlineBenchCalls = 20000
+	inlineBenchN     = 8
+)
+
+const inlineBenchSrc = `
+int mad(int k, int v) {
+    return k * v + (v >> 1);
+}
+
+int mix(int k, int v) {
+    return (k ^ v) + mad(k, v);
+}
+
+int apply(int *a, int n, int k) {
+    int i;
+    int s;
+    s = 0;
+    dynamicRegion key(k) (a, n) {
+        unrolled for (i = 0; i < n; i++) {
+            s = s + mix(k, a[i]);
+        }
+    }
+    return s;
+}`
+
+// InlineResult is the inlined-versus-ablated comparison plus the
+// automatic-promotion activity of the stripped subject.
+type InlineResult struct {
+	Calls int `json:"calls"`
+	N     int `json:"n"`
+
+	// Wall-clock host time and modeled guest cycles per kernel call.
+	InlinedNsPerCall     float64 `json:"inlined_ns_per_call"`
+	AblatedNsPerCall     float64 `json:"ablated_ns_per_call"`
+	InlinedCyclesPerCall float64 `json:"inlined_cycles_per_call"`
+	AblatedCyclesPerCall float64 `json:"ablated_cycles_per_call"`
+	// Speedups: ablated / inlined.
+	Speedup      float64 `json:"speedup"`
+	CycleSpeedup float64 `json:"cycle_speedup"`
+
+	// InlinesApplied is the inline pass's change count on the annotated
+	// build; ResidualCalls counts OpCall instructions left in the ablated
+	// build's kernel (they all sit inside the region).
+	InlinesApplied int `json:"inlines_applied"`
+	ResidualCalls  int `json:"residual_calls"`
+
+	// The stripped/auto subject: a helper-calling function that promotes
+	// only because its calls are inlinable.
+	AutoPromotions    uint64  `json:"auto_promotions"`
+	AutoNsPerCall     float64 `json:"auto_ns_per_call"`
+	AutoCyclesPerCall float64 `json:"auto_cycles_per_call"`
+}
+
+// inlineBenchRun drives one compiled subject through the workload with a
+// stable key, checking every return against a shadow model, and returns
+// wall ns/call and modeled guest cycles/call.
+func inlineBenchRun(name string, c *core.Compiled, calls int) (nsPerCall, cycPerCall float64, err error) {
+	defer c.Runtime.Close()
+	m := c.NewMachine(0)
+	va, err := m.Alloc(inlineBenchN)
+	if err != nil {
+		return 0, 0, err
+	}
+	const k = int64(7)
+	var want int64
+	for i := int64(0); i < inlineBenchN; i++ {
+		v := 2*i + 1
+		m.Mem[va+i] = v
+		want += (k ^ v) + k*v + (v >> 1)
+	}
+	// One warm-up call pays set-up and stitching; the timed loop then
+	// measures the steady state both subjects reach.
+	if _, err := m.Call("apply", va, inlineBenchN, k); err != nil {
+		return 0, 0, fmt.Errorf("inline %s warm-up: %w", name, err)
+	}
+	c0 := m.Cycles
+	t0 := time.Now()
+	for n := 0; n < calls; n++ {
+		got, err := m.Call("apply", va, inlineBenchN, k)
+		if err != nil {
+			return 0, 0, fmt.Errorf("inline %s call %d: %w", name, n, err)
+		}
+		if got != want {
+			return 0, 0, fmt.Errorf("inline %s diverges (call %d): got %d, want %d", name, n, got, want)
+		}
+	}
+	wall := time.Since(t0)
+	return float64(wall.Nanoseconds()) / float64(calls),
+		float64(m.Cycles-c0) / float64(calls), nil
+}
+
+// residualRegionCalls counts OpCall instructions left in fn.
+func residualRegionCalls(c *core.Compiled, fn string) int {
+	f := c.Module.FuncIndex[fn]
+	if f == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Inline runs the comparison. Zero selects the standard workload.
+func Inline(calls int) (*InlineResult, error) {
+	if calls < 1 {
+		calls = inlineBenchCalls
+	}
+
+	inl, err := core.Compile(inlineBenchSrc, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		return nil, fmt.Errorf("inline compile: %w", err)
+	}
+	inlines := inl.PassStat("inline").Changes
+	if inlines == 0 {
+		inl.Runtime.Close()
+		return nil, fmt.Errorf("inline: pass grafted nothing on a helper-heavy kernel")
+	}
+	inlNs, inlCyc, err := inlineBenchRun("inlined", inl, calls)
+	if err != nil {
+		return nil, err
+	}
+
+	abl, err := core.Compile(inlineBenchSrc, core.Config{
+		Dynamic: true, Optimize: true, DisablePasses: []string{"inline"},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("inline ablated compile: %w", err)
+	}
+	residual := residualRegionCalls(abl, "apply")
+	if residual == 0 {
+		abl.Runtime.Close()
+		return nil, fmt.Errorf("inline: ablated build has no residual calls — ablation is not ablating")
+	}
+	ablNs, ablCyc, err := inlineBenchRun("ablated", abl, calls)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stripped subject: automatic promotion must see through the calls.
+	stripped := testgen.StripAnnotations(inlineBenchSrc)
+	auto, err := core.Compile(stripped, core.Config{
+		Dynamic: true, Optimize: true, AutoRegion: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("inline auto compile: %w", err)
+	}
+	if f := auto.Module.FuncIndex["apply"]; f == nil || len(f.Regions) == 0 {
+		auto.Runtime.Close()
+		return nil, fmt.Errorf("inline: stripped helper-calling kernel did not auto-promote")
+	}
+	autoNs, autoCyc, err := inlineBenchRun("auto", auto, calls)
+	if err != nil {
+		return nil, err
+	}
+	promos := auto.Runtime.CacheStats().Promotions
+	if promos == 0 {
+		return nil, fmt.Errorf("inline: auto subject never promoted over %d calls", calls)
+	}
+
+	r := &InlineResult{
+		Calls: calls,
+		N:     inlineBenchN,
+
+		InlinedNsPerCall:     inlNs,
+		AblatedNsPerCall:     ablNs,
+		InlinedCyclesPerCall: inlCyc,
+		AblatedCyclesPerCall: ablCyc,
+
+		InlinesApplied: inlines,
+		ResidualCalls:  residual,
+
+		AutoPromotions:    promos,
+		AutoNsPerCall:     autoNs,
+		AutoCyclesPerCall: autoCyc,
+	}
+	if inlNs > 0 {
+		r.Speedup = ablNs / inlNs
+	}
+	if inlCyc > 0 {
+		r.CycleSpeedup = ablCyc / inlCyc
+	}
+	return r, nil
+}
+
+// PrintInline renders the comparison.
+func PrintInline(w io.Writer, r *InlineResult) {
+	fmt.Fprintf(w, "helper-heavy keyed region: %d calls, %d elements, 2-deep helper chain per element\n",
+		r.Calls, r.N)
+	fmt.Fprintf(w, "  %-26s %8.0f ns/call  %9.1f cyc/call   (%d call sites grafted)\n",
+		"inlined (default)", r.InlinedNsPerCall, r.InlinedCyclesPerCall, r.InlinesApplied)
+	fmt.Fprintf(w, "  %-26s %8.0f ns/call  %9.1f cyc/call   (%d residual calls)\n",
+		"ablated (-disable-pass inline)", r.AblatedNsPerCall, r.AblatedCyclesPerCall, r.ResidualCalls)
+	fmt.Fprintf(w, "  %-26s %8.2fx wall, %8.2fx cycles\n", "inlining speedup", r.Speedup, r.CycleSpeedup)
+	fmt.Fprintf(w, "  %-26s %8.0f ns/call  %9.1f cyc/call   (%d promotions, formerly call-blocked)\n",
+		"auto-promoted (stripped)", r.AutoNsPerCall, r.AutoCyclesPerCall, r.AutoPromotions)
+}

@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// A scaled-down inlining comparison: both subjects agree on every call
+// (inlineBenchRun errors on divergence), the pass actually grafts the
+// helper chain, the ablation actually leaves residual calls, and the
+// stripped subject auto-promotes through its calls.
+func TestInlineSmall(t *testing.T) {
+	r, err := Inline(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InlinesApplied == 0 || r.ResidualCalls == 0 {
+		t.Fatalf("comparison is vacuous: %+v", r)
+	}
+	if r.InlinedCyclesPerCall <= 0 || r.AblatedCyclesPerCall <= 0 || r.AutoCyclesPerCall <= 0 {
+		t.Fatalf("cycles per call not populated: %+v", r)
+	}
+	if r.AutoPromotions == 0 {
+		t.Fatalf("formerly call-blocked kernel never promoted: %+v", r)
+	}
+	// Collapsing two call frames per element into folded straight-line
+	// code must pay on the guest-cycle model, and clearly (the acceptance
+	// bar for the recorded benchmark is 1.3x).
+	if r.CycleSpeedup < 1.3 {
+		t.Errorf("inlining speedup below bar: %.2fx cycles (inlined %.1f vs ablated %.1f)",
+			r.CycleSpeedup, r.InlinedCyclesPerCall, r.AblatedCyclesPerCall)
+	}
+	t.Logf("inlined %.0f ns/call %.1f cyc/call, ablated %.0f ns/call %.1f cyc/call: %.2fx wall %.2fx cycles; %d grafts, %d residual, auto %d promotions",
+		r.InlinedNsPerCall, r.InlinedCyclesPerCall,
+		r.AblatedNsPerCall, r.AblatedCyclesPerCall,
+		r.Speedup, r.CycleSpeedup,
+		r.InlinesApplied, r.ResidualCalls, r.AutoPromotions)
+}

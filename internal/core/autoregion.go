@@ -1,7 +1,10 @@
 package core
 
 import (
+	"dyncc/internal/analysis"
 	"dyncc/internal/ast"
+	"dyncc/internal/ir"
+	"dyncc/internal/lower"
 	"dyncc/internal/pipeline"
 	"dyncc/internal/token"
 )
@@ -16,9 +19,25 @@ import (
 // therefore behavior-neutral by construction — it only opens the door for
 // the runtime to speculate.
 //
+// Calls no longer disqualify a candidate wholesale: only *residual* calls
+// do — calls the demand-driven inline pass will not fold away. Since this
+// pass runs on the AST (before lowering) and the inline pass on SSA IR
+// (after), the prediction comes from an oracle that lowers a scratch copy
+// of the file and summarizes it (inlineableCallees); every body call of an
+// accepted candidate lands inside the synthesized region, where the inline
+// policy is "always", so callee eligibility alone decides. A helper that a
+// candidate calls is itself left unpromoted — its body is about to be
+// grafted into its callers' regions, where specialization happens.
+//
 // The pass is optional (`-disable-pass autoregion`) and inert unless
 // Config.AutoRegion is set, mirroring how `stencil` rides RegisterOptional.
-type passAutoRegion struct{ enabled bool }
+type passAutoRegion struct {
+	enabled bool
+	// inlineBudget is the effective budget of the inline pass for this
+	// build; negative means inlining is off (then any call disqualifies,
+	// the pre-inlining behaviour).
+	inlineBudget int
+}
 
 func (passAutoRegion) Name() string { return "autoregion" }
 
@@ -26,14 +45,33 @@ func (p passAutoRegion) Run(ctx *pipeline.Context) error {
 	if !p.enabled || !ctx.Dynamic || ctx.File == nil {
 		return nil
 	}
-	n := 0
+	eligible := p.inlineableCallees(ctx.File)
+	type cand struct {
+		fd   *ast.FuncDecl
+		keys []string
+	}
+	var cands []cand
+	called := map[string]bool{}
 	for _, fd := range ctx.File.Funcs {
-		keys := autoRegionKeys(fd)
+		keys, calls := autoRegionKeys(fd, eligible)
 		if keys == nil {
 			continue
 		}
-		fd.Body = &ast.Block{P: fd.Body.P, Stmts: []ast.Stmt{
-			&ast.DynamicRegion{P: fd.Body.P, Keys: keys, Body: fd.Body, Auto: true},
+		cands = append(cands, cand{fd, keys})
+		for _, c := range calls {
+			called[c] = true
+		}
+	}
+	n := 0
+	for _, c := range cands {
+		// A candidate that another candidate calls is a helper destined to
+		// be inlined into its callers' regions; promoting it too would give
+		// it a region of its own and block that graft (no nesting).
+		if called[c.fd.Name] {
+			continue
+		}
+		c.fd.Body = &ast.Block{P: c.fd.Body.P, Stmts: []ast.Stmt{
+			&ast.DynamicRegion{P: c.fd.Body.P, Keys: c.keys, Body: c.fd.Body, Auto: true},
 		}}
 		n++
 	}
@@ -41,28 +79,59 @@ func (p passAutoRegion) Run(ctx *pipeline.Context) error {
 	return nil
 }
 
+// inlineableCallees predicts which functions the inline pass will be able
+// to graft, before lowering has run: lower a scratch module from the same
+// AST, build SSA, summarize. Returns nil (nothing eligible) when inlining
+// is off for this build or the file doesn't lower — the pass then falls
+// back to the conservative any-call-disqualifies rule, and the real
+// lowering reports the error with full context.
+func (p passAutoRegion) inlineableCallees(file *ast.File) map[string]bool {
+	if p.inlineBudget < 0 {
+		return nil
+	}
+	mod, err := lower.Lower(file)
+	if err != nil {
+		return nil
+	}
+	for _, f := range mod.Funcs {
+		ir.BuildSSA(f)
+	}
+	el := map[string]bool{}
+	for name, s := range analysis.Summaries(mod) {
+		if inlinable(s, p.inlineBudget) {
+			el[name] = true
+		}
+	}
+	return el
+}
+
 // maxAutoKeys caps the speculated key tuple; DYNENTER stages keys through
 // at most three shuttle registers (codegen/emit.go).
 const maxAutoKeys = 3
 
 // autoRegionKeys decides whether fd is a promotion candidate and, if so,
-// returns the parameter names to speculate on (nil otherwise). The filter
-// is deliberately conservative — rejecting a function only costs a missed
-// speculation, while accepting a bad one costs correctness:
+// returns the parameter names to speculate on plus the callee names its
+// body mentions (nil keys otherwise). The filter is deliberately
+// conservative — rejecting a function only costs a missed speculation,
+// while accepting a bad one costs correctness:
 //
 //   - the body must not already contain a dynamicRegion (no nesting), any
-//     call (set-up shareability and region semantics stop at calls), any
-//     goto or label (region edge checks), or any address-of (an
-//     address-taken parameter lives on the stack, where region key
-//     resolution cannot see it);
+//     goto or label (region edge checks), any address-of (an address-taken
+//     parameter lives on the stack, where region key resolution cannot see
+//     it), or any *residual* call — a call the inline pass will not fold
+//     (callee not in eligible: a builtin, too big, recursive, or itself
+//     region-bearing). Eligible calls are fine: they are grafted before
+//     the splitter ever sees the region, and even a mispredicted residual
+//     call still executes correctly inside a region (frames record their
+//     segment), it just blocks specialization of its result;
 //   - keys are scalar `int` parameters that the body reads but never
 //     writes and never shadows. Pointer and array parameters are never
 //     keys or constants: automatic promotion must not assume memory
 //     contents are stable — only the programmer's annotation may claim
 //     that — so loads through them stay non-constant, which is safe.
-func autoRegionKeys(fd *ast.FuncDecl) []string {
+func autoRegionKeys(fd *ast.FuncDecl, eligible map[string]bool) (keys, calls []string) {
 	if fd.Body == nil || len(fd.Params) == 0 {
-		return nil
+		return nil, nil
 	}
 	w := &autoWalker{
 		assigned: map[string]bool{},
@@ -71,34 +140,39 @@ func autoRegionKeys(fd *ast.FuncDecl) []string {
 	}
 	w.block(fd.Body)
 	if w.reject {
-		return nil
+		return nil, nil
 	}
-	var keys []string
-	for _, p := range fd.Params {
+	for _, c := range w.calls {
+		if !eligible[c] || c == fd.Name {
+			return nil, nil // residual (un-inlinable) call disqualifies
+		}
+	}
+	for _, pr := range fd.Params {
 		if len(keys) == maxAutoKeys {
 			break
 		}
-		t := p.Type
+		t := pr.Type
 		if t == nil || t.Base != token.KwInt || t.Ptr != 0 || len(t.ArrayLens) != 0 {
 			continue
 		}
-		if w.used[p.Name] && !w.assigned[p.Name] && !w.declared[p.Name] {
-			keys = append(keys, p.Name)
+		if w.used[pr.Name] && !w.assigned[pr.Name] && !w.declared[pr.Name] {
+			keys = append(keys, pr.Name)
 		}
 	}
 	if len(keys) == 0 {
-		return nil
+		return nil, nil
 	}
-	return keys
+	return keys, w.calls
 }
 
 // autoWalker scans a function body for disqualifying constructs and
-// records which names are read, written and locally re-declared.
+// records which names are read, written, locally re-declared and called.
 type autoWalker struct {
 	reject   bool
 	assigned map[string]bool
 	used     map[string]bool
 	declared map[string]bool
+	calls    []string
 }
 
 func (w *autoWalker) stmt(s ast.Stmt) {
@@ -181,7 +255,10 @@ func (w *autoWalker) expr(e ast.Expr) {
 		w.expr(x.T)
 		w.expr(x.F)
 	case *ast.Call:
-		w.reject = true
+		w.calls = append(w.calls, x.Fun)
+		for _, a := range x.Args {
+			w.expr(a)
+		}
 	case *ast.Index:
 		w.expr(x.X)
 		w.expr(x.I)

@@ -50,10 +50,15 @@ type Config struct {
 	// Auto tunes the runtime's promotion policy (thresholds, stability
 	// window, deopt backoff); the zero value selects rtr's defaults.
 	Auto rtr.AutoOptions
+	// InlineBudget caps the callee size (IR instructions) the demand-driven
+	// inlining pass will graft into a caller: 0 selects the default
+	// (DefaultInlineBudget), negative disables inlining entirely (like
+	// `-disable-pass inline`). The pass only runs when Optimize is set.
+	InlineBudget int
 	// DisablePasses names pipeline passes to skip, for ablation and
-	// debugging (e.g. "dce", "cse", or the whole "optimize" group).
-	// Structural passes (parse, lower, ssa, split, codegen) cannot be
-	// disabled, and unknown names are a compile error.
+	// debugging (e.g. "dce", "cse", "inline", or the whole "optimize"
+	// group). Structural passes (parse, lower, ssa, split, codegen) cannot
+	// be disabled, and unknown names are a compile error.
 	DisablePasses []string
 	// DumpIR, when non-nil, receives a textual IR snapshot of every
 	// function after each module-mutating pass (optimizer sub-passes dump
@@ -93,6 +98,21 @@ type Compiled struct {
 	regions []pipeline.RegionInfo
 }
 
+// inlineEnabled reports whether the inline pass will actually graft under
+// cfg — the autoregion candidate oracle keys off this so its promotion
+// decisions predict exactly what the later pass will do.
+func inlineEnabled(cfg Config) bool {
+	if !cfg.Optimize || effectiveInlineBudget(cfg.InlineBudget) < 0 {
+		return false
+	}
+	for _, p := range cfg.DisablePasses {
+		if p == "inline" || p == "optimize" {
+			return false
+		}
+	}
+	return true
+}
+
 // verifyAllEnv reports whether ir.Verify is forced between all passes
 // process-wide; `make check-passes` runs the whole test suite with it
 // set. Read per compile, not at package init: `go test` only records
@@ -109,9 +129,26 @@ func newPipeline(cfg Config) *pipeline.Manager {
 	// Automatic region promotion rewrites the AST before lowering; optional
 	// so `-disable-pass autoregion` ablates speculation while keeping the
 	// rest of a Config.AutoRegion build identical.
-	mgr.RegisterOptional(passAutoRegion{enabled: cfg.AutoRegion && cfg.Dynamic})
+	inlBudget := -1
+	if inlineEnabled(cfg) {
+		inlBudget = effectiveInlineBudget(cfg.InlineBudget)
+	}
+	mgr.RegisterOptional(passAutoRegion{
+		enabled:      cfg.AutoRegion && cfg.Dynamic,
+		inlineBudget: inlBudget,
+	})
 	mgr.Register(passLower{})
 	mgr.Register(passSSA{})
+	// Demand-driven inlining sits between SSA construction and the
+	// optimizer, so the fixpoint group folds, propagates and dedups the
+	// grafted bodies exactly like hand-merged code. Optional: `-disable-pass
+	// inline` is the specialization-through-calls ablation. Inert without
+	// the optimizer — the unoptimized build (the differential reference)
+	// must keep every call boundary intact.
+	mgr.RegisterOptional(passInline{
+		enabled: inlBudget >= 0,
+		budget:  inlBudget,
+	})
 	if cfg.Optimize {
 		mgr.RegisterFixpoint("optimize", opt.MaxRounds, optPasses()...)
 	}

@@ -68,3 +68,54 @@ func TestPerPassIRDumpGolden(t *testing.T) {
 			golden, got)
 	}
 }
+
+// TestInlinePassIRDumpGolden locks the call-boundary transform's dump on a
+// calls-heavy fixture: the inline pass must appear between ssa and the
+// splitter, and the grafted snapshots must stay byte-identical.
+func TestInlinePassIRDumpGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "inlinecalls.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	cfg := core.DefaultConfig()
+	cfg.DumpIR = func(pass, fn, text string) {
+		// "apply" holds the region plus both call sites of the helper.
+		if fn != "apply" {
+			return
+		}
+		fmt.Fprintf(&b, "=== ir after %s: %s\n%s\n", pass, fn, text)
+	}
+	if _, err := core.Compile(string(src), cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	wantOrder := []string{"after lower", "after ssa", "after inline", "after split"}
+	pos := 0
+	for _, w := range wantOrder {
+		i := strings.Index(got[pos:], w)
+		if i < 0 {
+			t.Fatalf("dump missing or out of order: %q", w)
+		}
+		pos += i
+	}
+
+	golden := filepath.Join("testdata", "inlinecalls_passes.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("per-pass IR dump differs from %s (run with -update to regenerate)\n--- got ---\n%s",
+			golden, got)
+	}
+}

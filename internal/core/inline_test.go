@@ -1,0 +1,244 @@
+package core_test
+
+import (
+	"testing"
+
+	"dyncc/internal/core"
+	"dyncc/internal/ir"
+)
+
+// residualCalls counts OpCall instructions of sym left in fn after the
+// whole pipeline ran.
+func residualCalls(t *testing.T, p *core.Compiled, fn, sym string) int {
+	t.Helper()
+	f := p.Module.FuncIndex[fn]
+	if f == nil {
+		t.Fatalf("no function %s", fn)
+	}
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Sym == sym {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// inlineRegionSrc has a small helper called inside a keyed dynamic region:
+// the policy must inline it unconditionally (budget permitting).
+const inlineRegionSrc = `
+int scale(int w, int v) {
+    return w * v + (w >> 1);
+}
+int f(int *a, int n, int k) {
+    int s;
+    int i;
+    s = 0;
+    dynamicRegion key(k) (a, n) {
+        unrolled for (i = 0; i < n; i++) {
+            s = s + scale(k, a[i]);
+        }
+    }
+    return s;
+}`
+
+// TestInlineInRegionAlways: a budget-fitting callee inside a dynamic
+// region is always grafted, the pass reports the change, and the region
+// still compiles, stitches and runs correctly.
+func TestInlineInRegionAlways(t *testing.T) {
+	p, err := core.Compile(inlineRegionSrc, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if got := p.PassStat("inline").Changes; got < 1 {
+		t.Fatalf("inline pass reported %d grafts, want >= 1", got)
+	}
+	if n := residualCalls(t, p, "f", "scale"); n != 0 {
+		t.Fatalf("%d residual calls of scale in region", n)
+	}
+	m := p.NewMachine(0)
+	va, err := m.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		m.Mem[va+i] = i + 1
+	}
+	got, err := m.Call("f", va, 4, 6)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var want int64
+	for i := int64(1); i <= 4; i++ {
+		want += 6*i + 3
+	}
+	if got != want {
+		t.Fatalf("inlined region: got %d, want %d", got, want)
+	}
+}
+
+// TestInlineAblated: -disable-pass inline (and a negative budget) must
+// leave the call boundary intact.
+func TestInlineAblated(t *testing.T) {
+	for _, cfg := range []core.Config{
+		{Dynamic: true, Optimize: true, DisablePasses: []string{"inline"}},
+		{Dynamic: true, Optimize: true, InlineBudget: -1},
+	} {
+		p, err := core.Compile(inlineRegionSrc, cfg)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		if got := p.PassStat("inline").Changes; got != 0 {
+			t.Fatalf("ablated build grafted %d times", got)
+		}
+		if n := residualCalls(t, p, "f", "scale"); n == 0 {
+			t.Fatalf("ablated build lost the call")
+		}
+		// The residual call must still execute correctly inside the region.
+		m := p.NewMachine(0)
+		va, err := m.Alloc(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Mem[va], m.Mem[va+1] = 10, 20
+		got, err := m.Call("f", va, 2, 4)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if want := int64(4*10 + 2 + 4*20 + 2); got != want {
+			t.Fatalf("residual-call region: got %d, want %d", got, want)
+		}
+	}
+}
+
+// TestInlineBudget: a callee over the instruction budget stays a call.
+func TestInlineBudget(t *testing.T) {
+	p, err := core.Compile(inlineRegionSrc, core.Config{
+		Dynamic: true, Optimize: true, InlineBudget: 2,
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if n := residualCalls(t, p, "f", "scale"); n == 0 {
+		t.Fatal("over-budget callee was inlined")
+	}
+}
+
+// TestInlineDemandDriven: outside a region, only call sites with a
+// provably constant argument are grafted.
+func TestInlineDemandDriven(t *testing.T) {
+	const src = `
+int mix(int a, int b) {
+    return (a ^ b) * 3;
+}
+int f(int x, int y) {
+    int u;
+    int v;
+    u = mix(x, 7);
+    v = mix(x, y);
+    return u - v;
+}`
+	p, err := core.Compile(src, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if got := p.PassStat("inline").Changes; got != 1 {
+		t.Fatalf("demand policy grafted %d call sites, want exactly 1 (the literal-arg one)", got)
+	}
+	if n := residualCalls(t, p, "f", "mix"); n != 1 {
+		t.Fatalf("%d residual calls of mix, want 1", n)
+	}
+	m := p.NewMachine(0)
+	got, err := m.Call("f", 12, 5)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := int64((12^7)*3 - (12^5)*3); got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+// TestInlineRecursionAndChains: recursive callees are never grafted;
+// helper chains (h2 -> h1 -> h0) collapse transitively inside regions.
+func TestInlineRecursionAndChains(t *testing.T) {
+	const src = `
+int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+int h0(int a, int b) {
+    return a + b * 2;
+}
+int h1(int a, int b) {
+    return h0(a, b) ^ b;
+}
+int f(int k, int x) {
+    int s;
+    s = 0;
+    dynamicRegion key(k) () {
+        s = h1(k, k + 1) + fib(3) + x;
+    }
+    return s;
+}`
+	p, err := core.Compile(src, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if n := residualCalls(t, p, "f", "fib"); n != 1 {
+		t.Fatalf("recursive fib: %d residual calls, want 1", n)
+	}
+	if n := residualCalls(t, p, "f", "h1") + residualCalls(t, p, "f", "h0"); n != 0 {
+		t.Fatalf("helper chain left %d residual calls", n)
+	}
+	m := p.NewMachine(0)
+	got, err := m.Call("f", 5, 100)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := int64(((5 + 6*2) ^ 6) + 2 + 100); got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+// TestInlineSetupSlice: a call whose result feeds a region's annotated
+// constant (the set-up slice) is grafted even with no constant argument.
+func TestInlineSetupSlice(t *testing.T) {
+	const src = `
+int derive(int a, int b) {
+    return a * 8 + b;
+}
+int f(int *p, int x, int y) {
+    int d;
+    int s;
+    d = derive(x, y);
+    s = 0;
+    dynamicRegion (p, d) {
+        s = p[0] * d;
+    }
+    return s;
+}`
+	p, err := core.Compile(src, core.Config{Dynamic: true, Optimize: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if n := residualCalls(t, p, "f", "derive"); n != 0 {
+		t.Fatalf("set-up slice call not grafted (%d residual)", n)
+	}
+	m := p.NewMachine(0)
+	va, err := m.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mem[va] = 3
+	got, err := m.Call("f", va, 2, 5)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := int64(3 * (2*8 + 5)); got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}

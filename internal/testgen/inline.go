@@ -1,0 +1,53 @@
+package testgen
+
+import (
+	"fmt"
+
+	"dyncc/internal/core"
+	"dyncc/internal/rtr"
+)
+
+// RunInline is the call-boundary differential: generate a program with
+// helper functions and call sites both inside and outside its dynamic
+// region (GenOpts.WithCalls), then check the inlining build, the ablated
+// build (-disable-pass inline), and both again under asynchronous
+// stitching against the unoptimized-IR reference — which never inlines,
+// so every comparison crosses the graft transform. Returns how many call
+// sites the inline pass grafted in the base subject, so callers can assert
+// the corpus actually exercises the pass rather than vacuously passing.
+func RunInline(seed, cIn, xIn int64) (int, error) {
+	tc, err := buildCaseWith(seed, cIn, xIn, GenOpts{WithCalls: true})
+	if err != nil {
+		return 0, err
+	}
+
+	// Base subject compiled by hand so the pass statistic is observable.
+	base := core.Config{Dynamic: true, Optimize: true}
+	p, err := core.Compile(tc.src, base)
+	if err != nil {
+		return 0, fmt.Errorf("inline compile: %w\n%s", err, tc.src)
+	}
+	inlines := p.PassStat("inline").Changes
+	if err := tc.checkCompiled("inline", p, false); err != nil {
+		return inlines, err
+	}
+
+	subjects := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"inline:ablated", core.Config{Dynamic: true, Optimize: true,
+			DisablePasses: []string{"inline"}}},
+		{"inline:async", core.Config{Dynamic: true, Optimize: true,
+			Cache: rtr.CacheOptions{AsyncStitch: true}}},
+		{"inline:ablated+async", core.Config{Dynamic: true, Optimize: true,
+			DisablePasses: []string{"inline"},
+			Cache:         rtr.CacheOptions{AsyncStitch: true}}},
+	}
+	for _, sub := range subjects {
+		if err := tc.checkSubject(sub.name, sub.cfg); err != nil {
+			return inlines, err
+		}
+	}
+	return inlines, nil
+}

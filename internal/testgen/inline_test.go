@@ -1,0 +1,48 @@
+package testgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInlineFixedSeeds runs the call-boundary differential over a fixed
+// block of seeds: call-bearing programs, inlined vs -disable-pass inline
+// vs asynchronous stitching, all against the never-inlining reference
+// interpreter. The corpus as a whole must actually trigger the pass — a
+// generator regression that stops emitting inlinable call sites would
+// otherwise make the sweep vacuous.
+func TestInlineFixedSeeds(t *testing.T) {
+	n := int64(150)
+	if testing.Short() {
+		n = 25
+	}
+	total := 0
+	for seed := int64(1); seed <= n; seed++ {
+		r := rand.New(rand.NewSource(seed * 7919))
+		c := int64(r.Intn(1024) - 512)
+		x := int64(r.Intn(4000) - 2000)
+		inlines, err := RunInline(seed, c, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += inlines
+	}
+	if total == 0 {
+		t.Fatalf("corpus of %d call-bearing programs triggered zero inlines", n)
+	}
+}
+
+// FuzzInline feeds the same triple space from the native fuzzer; any
+// divergence across the graft transform (or a compile failure on generated
+// call-bearing source) is a crash.
+func FuzzInline(f *testing.F) {
+	f.Add(int64(1), int64(7), int64(42))
+	f.Add(int64(3), int64(-200), int64(55))
+	f.Add(int64(21), int64(511), int64(-1))
+	f.Add(int64(77), int64(0), int64(1999))
+	f.Fuzz(func(t *testing.T, seed, c, x int64) {
+		if _, err := RunInline(seed, c, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -34,11 +34,12 @@ var cmps = []string{"<", ">", "==", "!="}
 // gen carries generator state: the source being built and the variables in
 // scope at each point.
 type gen struct {
-	r     *rand.Rand
-	b     strings.Builder
-	vars  []string // expression-usable int variables in scope
-	loops int      // loop variables minted so far (v0, v1, ...)
-	depth int      // statement nesting depth
+	r       *rand.Rand
+	b       strings.Builder
+	vars    []string // expression-usable int variables in scope
+	loops   int      // loop variables minted so far (v0, v1, ...)
+	depth   int      // statement nesting depth
+	helpers int      // helper functions emitted (h0, h1, ...); 0 unless WithCalls
 }
 
 func (g *gen) pick(list []string) string { return list[g.r.Intn(len(list))] }
@@ -79,8 +80,13 @@ func (g *gen) linef(format string, args ...any) {
 func (g *gen) stmt(idx []string, unrollOK bool) {
 	choice := g.r.Intn(10)
 	switch {
-	case choice < 3: // plain accumulation
-		g.linef("acc = acc %s %s;", g.pick(ops), g.expr(2))
+	case choice < 3: // plain accumulation — or, with helpers, a call site
+		if g.helpers > 0 && g.r.Intn(3) == 0 {
+			g.linef("acc = acc %s h%d(%s, %s);",
+				g.pick(ops), g.r.Intn(g.helpers), g.expr(1), g.expr(1))
+		} else {
+			g.linef("acc = acc %s %s;", g.pick(ops), g.expr(2))
+		}
 	case choice < 4 && len(idx) > 0: // bounded array load
 		i := g.pick(idx)
 		if g.r.Intn(2) == 0 {
@@ -138,6 +144,18 @@ func (g *gen) stmt(idx []string, unrollOK bool) {
 	}
 }
 
+// GenOpts selects optional generator features. The zero value reproduces
+// the historical corpus byte for byte — options must only ever *add*
+// random draws on code paths the zero value never takes.
+type GenOpts struct {
+	// WithCalls emits 1–3 small pure helper functions (h0, h1, ...) and
+	// call sites inside and around the dynamic region — the corpus for the
+	// demand-driven inlining differential (RunInline). Helpers compose the
+	// same trap-free operator set as the rest of the generator and may
+	// chain (h2 calling h1), so transitive grafting is exercised too.
+	WithCalls bool
+}
+
 // Gen returns random MiniC source for
 //
 //	int f(int *a, int n, int c, int x)
@@ -145,8 +163,37 @@ func (g *gen) stmt(idx []string, unrollOK bool) {
 // containing one dynamic region (keyed or unkeyed, at random) over the
 // run-time constants a, n and c. Array loads are always bounded by n, so
 // for any heap of n elements the program runs trap-free on every engine.
-func Gen(r *rand.Rand) string {
+func Gen(r *rand.Rand) string { return GenWith(r, GenOpts{}) }
+
+// genHelpers emits the helper functions for GenOpts.WithCalls and returns
+// their source. Helper bodies draw only from their own parameters (p, q)
+// and literals, with the trap-free operator set; later helpers may call
+// earlier ones.
+func (g *gen) genHelpers() string {
+	g.helpers = 1 + g.r.Intn(3)
+	var b strings.Builder
+	for i := 0; i < g.helpers; i++ {
+		saved := g.vars
+		g.vars = []string{"p", "q"}
+		body := fmt.Sprintf("(p %s %s)", g.pick(ops), g.expr(1))
+		if i > 0 && g.r.Intn(2) == 0 {
+			body = fmt.Sprintf("(%s %s h%d(q, %s))",
+				body, g.pick(ops), g.r.Intn(i), g.expr(1))
+		}
+		fmt.Fprintf(&b, "int h%d(int p, int q) {\n    return %s;\n}\n", i, body)
+		g.vars = saved
+	}
+	return b.String()
+}
+
+// GenWith is Gen with options; see GenOpts.
+func GenWith(r *rand.Rand, opts GenOpts) string {
 	g := &gen{r: r, vars: []string{"acc", "x", "c", "n"}}
+
+	helperDefs := ""
+	if opts.WithCalls {
+		helperDefs = g.genHelpers()
+	}
 
 	header := "dynamicRegion (a, n, c)"
 	switch g.r.Intn(3) {
@@ -185,13 +232,26 @@ func Gen(r *rand.Rand) string {
 		ret = "    return acc - 1;"
 	}
 
-	return fmt.Sprintf(`
+	// Call sites around the region: a pre-region call with a literal
+	// argument (a demand-driven inline site outside any region) and,
+	// sometimes, one in the final return.
+	prelude := ""
+	if g.helpers > 0 {
+		prelude = fmt.Sprintf("    acc = h%d(%d, x);\n",
+			g.r.Intn(g.helpers), g.r.Intn(64)-16)
+		if g.r.Intn(2) == 0 {
+			ret = fmt.Sprintf("    return acc %s h%d(acc, %d);",
+				g.pick(ops), g.r.Intn(g.helpers), g.r.Intn(64)-16)
+		}
+	}
+
+	return fmt.Sprintf(`%s
 int f(int *a, int n, int c, int x) {
     int acc = 0;
-    %s {
+%s    %s {
 %s%s%s%s    }
 %s
-}`, header, decls.String(), dDecl, body, inRegion, ret)
+}`, helperDefs, prelude, header, decls.String(), dDecl, body, inRegion, ret)
 }
 
 // limit clamps v into [lo, hi] by wrapping — keeps fuzz-chosen parameters
@@ -219,8 +279,15 @@ type testCase struct {
 // outputs by interpreting the unoptimized SSA IR — no optimizer,
 // splitter, regalloc, codegen, stitcher or VM involved.
 func buildCase(seed, cIn, xIn int64) (*testCase, error) {
+	return buildCaseWith(seed, cIn, xIn, GenOpts{})
+}
+
+// buildCaseWith is buildCase with generator knobs; the reference stays the
+// unoptimized interpreter, which never inlines, so call-bearing programs
+// are checked across the call-boundary transform too.
+func buildCaseWith(seed, cIn, xIn int64, opts GenOpts) (*testCase, error) {
 	r := rand.New(rand.NewSource(seed))
-	src := Gen(r)
+	src := GenWith(r, opts)
 
 	n := int64(1 + r.Intn(6))
 	c := limit(cIn, -512, 512)
@@ -328,16 +395,17 @@ func Run(seed, cIn, xIn int64) error {
 
 // AblationPasses lists the disableable passes RunAblation knocks out one
 // at a time: every optimizer sub-pass, the stencil precompilation pass
-// (whose ablation falls back to interpretive stitching), and the
-// autoregion speculation pass (whose ablation must leave a Config.
-// AutoRegion build behaviourally identical to a plain dynamic build).
+// (whose ablation falls back to interpretive stitching), the autoregion
+// speculation pass (whose ablation must leave a Config.AutoRegion build
+// behaviourally identical to a plain dynamic build), and the demand-driven
+// inline pass (whose ablation keeps every call boundary intact).
 func AblationPasses() []string {
 	subs := opt.SubPasses()
-	names := make([]string, 0, len(subs)+2)
+	names := make([]string, 0, len(subs)+3)
 	for _, sp := range subs {
 		names = append(names, sp.Name)
 	}
-	return append(names, "stencil", "autoregion")
+	return append(names, "stencil", "autoregion", "inline")
 }
 
 // RunAblation is the pipeline's pass-ablation differential: for each

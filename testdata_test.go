@@ -18,6 +18,8 @@ func TestTestdataPrograms(t *testing.T) {
 		"fib.mc":        {fn: "fib", args: []int64{20}, want: 6765},
 		"power.mc":      {fn: "power", args: []int64{3, 10}, want: 59049},
 		"dotproduct.mc": {fn: "buildAndDot", want: 1*10 + 2*9 + 3*8 + 4*7},
+		// apply: mad(5,3)=16, then Σ mad(5, a[i]) for a = 1..4 = 54.
+		"inlinecalls.mc": {fn: "buildAndApply", want: 70},
 	}
 	files, err := filepath.Glob("testdata/*.mc")
 	if err != nil || len(files) == 0 {
